@@ -1,0 +1,19 @@
+//! E10: audit-log completeness and per-request overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e10_audit_overhead;
+
+fn bench(c: &mut Criterion) {
+    let result = e10_audit_overhead(500).unwrap();
+    println!("{}", result.table().render());
+    println!("events per prompt: {:.1}\n", result.events_per_prompt());
+    let mut group = c.benchmark_group("e10_audit_overhead");
+    group.sample_size(10);
+    group.bench_function("serve_100_prompts", |b| {
+        b.iter(|| e10_audit_overhead(100).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

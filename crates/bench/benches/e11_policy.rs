@@ -1,0 +1,16 @@
+//! E11: systemic-risk classification, compliance and safe harbor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e11_policy;
+
+fn bench(c: &mut Criterion) {
+    let result = e11_policy();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e11_policy");
+    group.sample_size(30);
+    group.bench_function("census_classification", |b| b.iter(e11_policy));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

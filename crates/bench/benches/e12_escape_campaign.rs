@@ -1,0 +1,24 @@
+//! E12: the end-to-end escape campaign, Guillotine vs the traditional
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::campaign::run_escape_campaign;
+
+fn bench(c: &mut Criterion) {
+    let report = run_escape_campaign(2025).unwrap();
+    println!("{}", report.table().render());
+    println!(
+        "guillotine contained {}/{}, baseline contained {}/{}\n",
+        report.guillotine_contained(),
+        report.rows.len(),
+        report.baseline_contained(),
+        report.rows.len()
+    );
+    let mut group = c.benchmark_group("e12_escape_campaign");
+    group.sample_size(10);
+    group.bench_function("full_campaign", |b| b.iter(|| run_escape_campaign(1).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

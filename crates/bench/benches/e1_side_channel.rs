@@ -1,0 +1,18 @@
+//! E1: prime+probe side-channel leakage, shared vs disjoint hierarchies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e1_side_channel;
+
+fn bench(c: &mut Criterion) {
+    let result = e1_side_channel(8, 42);
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e1_side_channel");
+    group.sample_size(10);
+    group.bench_function("prime_probe_trial_pair", |b| {
+        b.iter(|| e1_side_channel(1, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

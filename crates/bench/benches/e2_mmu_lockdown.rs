@@ -1,0 +1,18 @@
+//! E2: MMU executable-region lockdown vs runtime code injection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e2_mmu_lockdown;
+
+fn bench(c: &mut Criterion) {
+    let result = e2_mmu_lockdown().unwrap();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e2_mmu_lockdown");
+    group.sample_size(10);
+    group.bench_function("injection_attack_battery", |b| {
+        b.iter(|| e2_mmu_lockdown().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E4: interrupt-flood livelock prevention via LAPIC throttling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e4_interrupt_flood;
+
+fn bench(c: &mut Criterion) {
+    let result = e4_interrupt_flood(500).unwrap();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e4_interrupt_flood");
+    group.sample_size(10);
+    group.bench_function("flood_200_quanta", |b| b.iter(|| e4_interrupt_flood(200).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

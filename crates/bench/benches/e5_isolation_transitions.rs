@@ -1,0 +1,19 @@
+//! E5: isolation-level transition latencies and the escalation ratchet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e5_isolation_transitions;
+
+fn bench(c: &mut Criterion) {
+    let result = e5_isolation_transitions().unwrap();
+    println!("{}", result.table().render());
+    println!("ratchet denials: {}\n", result.ratchet_denials);
+    let mut group = c.benchmark_group("e5_isolation_transitions");
+    group.sample_size(20);
+    group.bench_function("full_escalation_ladder", |b| {
+        b.iter(|| e5_isolation_transitions().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

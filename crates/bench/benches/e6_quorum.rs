@@ -1,0 +1,16 @@
+//! E6: quorum-voting robustness under administrator corruption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e6_quorum;
+
+fn bench(c: &mut Criterion) {
+    let result = e6_quorum().unwrap();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e6_quorum");
+    group.sample_size(30);
+    group.bench_function("corruption_sweep", |b| b.iter(|| e6_quorum().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E7: heartbeat failure-detection latency under packet loss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e7_heartbeat;
+
+fn bench(c: &mut Criterion) {
+    let result = e7_heartbeat(&[0.0, 0.01, 0.05, 0.1, 0.3], 11).unwrap();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e7_heartbeat");
+    group.sample_size(10);
+    group.bench_function("loss_sweep", |b| {
+        b.iter(|| e7_heartbeat(&[0.0, 0.1], 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

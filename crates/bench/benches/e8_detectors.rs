@@ -1,0 +1,18 @@
+//! E8: misbehavior-detector efficacy and throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e8_detectors;
+
+fn bench(c: &mut Criterion) {
+    let result = e8_detectors(2000, 0.5, 9);
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e8_detectors");
+    group.sample_size(10);
+    group.bench_function("screen_500_requests", |b| {
+        b.iter(|| e8_detectors(500, 0.2, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

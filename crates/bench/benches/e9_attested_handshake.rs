@@ -1,0 +1,19 @@
+//! E9: attested handshakes, Guillotine self-identification and collusion
+//! refusal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::experiments::e9_attested_handshake;
+
+fn bench(c: &mut Criterion) {
+    let result = e9_attested_handshake(20).unwrap();
+    println!("{}", result.table().render());
+    let mut group = c.benchmark_group("e9_attested_handshake");
+    group.sample_size(20);
+    group.bench_function("handshake_scenarios", |b| {
+        b.iter(|| e9_attested_handshake(5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

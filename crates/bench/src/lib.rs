@@ -1,0 +1,6 @@
+//! Benchmark support crate.
+//!
+//! The actual benchmark targets live in `benches/`; each one wraps one of the
+//! experiment functions from `guillotine::experiments` (or the escape
+//! campaign) with Criterion and prints the corresponding results table so the
+//! series the paper's claims imply can be regenerated with `cargo bench`.

@@ -1,0 +1,42 @@
+//! Guillotine: a simulated hypervisor architecture for isolating malicious
+//! AI models.
+//!
+//! This is the umbrella crate of the Guillotine reproduction (HotOS 2025,
+//! "Guillotine: Hypervisors for Isolating Malicious AIs"). It wires the four
+//! layers of the paper's architecture into one deployment object and provides
+//! the experiment harness that validates every claim the paper makes:
+//!
+//! * [`deployment`] — [`deployment::GuillotineDeployment`] assembles the
+//!   Figure-1 topology: datacenter, Guillotine machine (model cores +
+//!   hypervisor cores with disjoint hierarchies), software hypervisor with
+//!   detectors and port-mediated devices, control console with seven
+//!   administrators and HSM quorum voting, kill switches, heartbeats, the
+//!   regulator PKI and the policy layer.
+//! * [`experiments`] — one function per experiment (E1–E11), each returning a
+//!   result struct with a human-readable table; the Criterion benches in
+//!   `guillotine-bench` wrap these.
+//! * [`campaign`] — the end-to-end escape campaign (E12): the full
+//!   rogue-behaviour library thrown at both the Guillotine deployment and the
+//!   traditional baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+//!
+//! let mut deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+//! let outcome = deployment.serve_prompt("What is the capital of France?").unwrap();
+//! assert!(outcome.delivered);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod deployment;
+pub mod experiments;
+pub mod report;
+
+pub use campaign::{run_escape_campaign, AttackOutcome, CampaignReport};
+pub use deployment::{DeploymentConfig, GuillotineDeployment, ServeOutcome};
+pub use report::Table;

@@ -1,0 +1,41 @@
+//! Misbehavior detectors for Guillotine.
+//!
+//! The paper treats the misbehavior detector as a black box inside the TCB
+//! (§3.1) and sketches four families of detection/mitigation that the
+//! hypervisor's affordances must support (§3.3):
+//!
+//! * **activation steering** — examine the weights visited during a forward
+//!   pass and substitute dangerous activations on the fly,
+//! * **circuit breaking** — disrupt a forward pass that visits problematic
+//!   areas of the weight graph so no response is produced at all,
+//! * **input shielding** — screen prompts for attempts to nudge the model
+//!   toward misbehavior,
+//! * **output sanitization** — remove problematic content from responses.
+//!
+//! This crate implements all four, plus a system-level anomaly detector that
+//! consumes the hypervisor's port/interrupt/fault statistics, and a composite
+//! detector that aggregates verdicts. Every detector consumes
+//! [`ModelObservation`]s — exactly the observations a Guillotine hypervisor
+//! can legitimately produce (port traffic, intermediate state exposed over
+//! the private bus, system counters) — and produces a [`Verdict`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod circuit_breaker;
+pub mod composite;
+pub mod input_shield;
+pub mod observation;
+pub mod output_sanitizer;
+pub mod steering;
+pub mod verdict;
+
+pub use anomaly::{AnomalyDetector, SystemBaseline};
+pub use circuit_breaker::CircuitBreaker;
+pub use composite::CompositeDetector;
+pub use input_shield::InputShield;
+pub use observation::{ActivationStep, ActivationTrace, ModelObservation, SystemStats};
+pub use output_sanitizer::OutputSanitizer;
+pub use steering::ActivationSteering;
+pub use verdict::{Detector, RecommendedAction, Verdict};

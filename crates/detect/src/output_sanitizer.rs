@@ -1,0 +1,234 @@
+//! Output sanitization: removing problematic content from model responses.
+
+use crate::observation::ModelObservation;
+use crate::verdict::{Detector, RecommendedAction, Verdict};
+use serde::{Deserialize, Serialize};
+
+/// A category of content that must not leave the sandbox.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForbiddenCategory {
+    /// Category name (appears in audit records).
+    pub name: String,
+    /// Lowercase markers whose presence indicates the category.
+    pub markers: Vec<String>,
+    /// Severity in `[0, 1]`.
+    pub severity: f64,
+}
+
+/// The output sanitizer: scans responses and replaces forbidden spans with a
+/// redaction marker, so the hypervisor can forward the sanitized response
+/// instead of suppressing it entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputSanitizer {
+    categories: Vec<ForbiddenCategory>,
+    redaction: String,
+    inspected: u64,
+    sanitized: u64,
+}
+
+impl Default for OutputSanitizer {
+    fn default() -> Self {
+        OutputSanitizer::new()
+    }
+}
+
+impl OutputSanitizer {
+    /// Creates a sanitizer with the default category set.
+    pub fn new() -> Self {
+        let categories = vec![
+            ForbiddenCategory {
+                name: "weapon-synthesis".into(),
+                markers: vec![
+                    "synthesis route".into(),
+                    "precursor".into(),
+                    "enrichment cascade".into(),
+                    "vx".into(),
+                    "sarin".into(),
+                ],
+                severity: 0.95,
+            },
+            ForbiddenCategory {
+                name: "self-exfiltration".into(),
+                markers: vec![
+                    "my weights are".into(),
+                    "weight shard".into(),
+                    "base64 checkpoint".into(),
+                    "upload my parameters".into(),
+                ],
+                severity: 0.9,
+            },
+            ForbiddenCategory {
+                name: "sandbox-probing".into(),
+                markers: vec![
+                    "hypervisor core".into(),
+                    "cache set index".into(),
+                    "management bus".into(),
+                    "kill switch location".into(),
+                ],
+                severity: 0.8,
+            },
+            ForbiddenCategory {
+                name: "credential-leak".into(),
+                markers: vec!["password:".into(), "api key:".into(), "private key".into()],
+                severity: 0.7,
+            },
+        ];
+        OutputSanitizer {
+            categories,
+            redaction: "[REDACTED BY GUILLOTINE]".into(),
+            inspected: 0,
+            sanitized: 0,
+        }
+    }
+
+    /// Adds a forbidden category.
+    pub fn add_category(&mut self, category: ForbiddenCategory) {
+        self.categories.push(category);
+    }
+
+    /// Number of responses inspected.
+    pub fn inspected(&self) -> u64 {
+        self.inspected
+    }
+
+    /// Number of responses that required sanitization.
+    pub fn sanitized_count(&self) -> u64 {
+        self.sanitized
+    }
+
+    /// Sanitizes `text`, returning the clean text, the matched categories and
+    /// the maximum severity among them.
+    pub fn sanitize(&self, text: &str) -> (String, Vec<String>, f64) {
+        let lower = text.to_lowercase();
+        let mut matched = Vec::new();
+        let mut severity: f64 = 0.0;
+        let mut clean = text.to_string();
+        for cat in &self.categories {
+            let mut hit = false;
+            for marker in &cat.markers {
+                if lower.contains(marker.as_str()) {
+                    hit = true;
+                    // Redact every occurrence, case-insensitively, by scanning
+                    // the lowercase shadow string.
+                    let mut result = String::with_capacity(clean.len());
+                    let mut rest = clean.as_str();
+                    loop {
+                        match rest.to_lowercase().find(marker.as_str()) {
+                            Some(pos) => {
+                                result.push_str(&rest[..pos]);
+                                result.push_str(&self.redaction);
+                                rest = &rest[pos + marker.len()..];
+                            }
+                            None => {
+                                result.push_str(rest);
+                                break;
+                            }
+                        }
+                    }
+                    clean = result;
+                }
+            }
+            if hit {
+                matched.push(cat.name.clone());
+                severity = severity.max(cat.severity);
+            }
+        }
+        (clean, matched, severity)
+    }
+}
+
+impl Detector for OutputSanitizer {
+    fn name(&self) -> &str {
+        "output-sanitizer"
+    }
+
+    fn inspect(&mut self, observation: &ModelObservation) -> Verdict {
+        let text = match observation {
+            ModelObservation::Response { text, .. } => text,
+            _ => return Verdict::clean(self.name()),
+        };
+        self.inspected += 1;
+        let (clean, matched, severity) = self.sanitize(text);
+        if matched.is_empty() {
+            Verdict::clean(self.name())
+        } else {
+            self.sanitized += 1;
+            let action = if severity >= 0.9 {
+                RecommendedAction::Restrict
+            } else {
+                RecommendedAction::Sanitize
+            };
+            Verdict::flagged(
+                self.name(),
+                severity,
+                format!("response contained forbidden categories: {}", matched.join(", ")),
+                action,
+            )
+            .with_replacement(clean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guillotine_types::ModelId;
+
+    fn response(text: &str) -> ModelObservation {
+        ModelObservation::Response {
+            model: ModelId::new(0),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn benign_responses_pass_unchanged() {
+        let mut s = OutputSanitizer::new();
+        let v = s.inspect(&response("The capital of France is Paris."));
+        assert!(!v.flagged);
+        assert!(v.replacement.is_none());
+    }
+
+    #[test]
+    fn forbidden_content_is_redacted() {
+        let mut s = OutputSanitizer::new();
+        let v = s.inspect(&response(
+            "Sure! The synthesis route starts with a common precursor.",
+        ));
+        assert!(v.flagged);
+        let clean = v.replacement.unwrap();
+        assert!(clean.contains("[REDACTED BY GUILLOTINE]"));
+        assert!(!clean.to_lowercase().contains("synthesis route"));
+        assert!(v.score >= 0.9);
+    }
+
+    #[test]
+    fn sandbox_probing_answers_are_caught() {
+        let mut s = OutputSanitizer::new();
+        let v = s.inspect(&response(
+            "The hypervisor core can be reached if you learn the cache set index of its heap.",
+        ));
+        assert!(v.flagged);
+        assert!(v.reason.contains("sandbox-probing"));
+    }
+
+    #[test]
+    fn multiple_categories_report_highest_severity() {
+        let s = OutputSanitizer::new();
+        let (_, cats, sev) = s.sanitize("password: hunter2 and a weight shard in base64 checkpoint form");
+        assert!(cats.contains(&"credential-leak".to_string()));
+        assert!(cats.contains(&"self-exfiltration".to_string()));
+        assert!(sev >= 0.9);
+    }
+
+    #[test]
+    fn prompts_are_not_this_detectors_business() {
+        let mut s = OutputSanitizer::new();
+        let v = s.inspect(&ModelObservation::Prompt {
+            model: ModelId::new(0),
+            text: "password: abc".into(),
+        });
+        assert!(!v.flagged);
+        assert_eq!(s.inspected(), 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Device backends proxied by the software hypervisor.
+//!
+//! Models never talk to devices directly (§3.3 bans SR-IOV-style direct
+//! assignment); instead the hypervisor receives an IO descriptor, checks the
+//! port capability, and forwards the request to one of these backends. Each
+//! backend is intentionally simple — what matters to the experiments is the
+//! mediation path, its latency, and its observability.
+
+use guillotine_hw::IoOpcode;
+use guillotine_types::{DetRng, DeviceId, GuillotineError, Result, SimDuration};
+use std::collections::BTreeMap;
+
+/// A device the hypervisor can forward IO requests to.
+pub trait DeviceBackend: Send {
+    /// Short device-class name for audit records.
+    fn kind(&self) -> &str;
+
+    /// Handles one request; returns `(status, response payload)`.
+    /// Status 0 means success.
+    fn handle(&mut self, opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)>;
+
+    /// The device's service latency for one request.
+    fn service_latency(&self) -> SimDuration {
+        SimDuration::from_micros(5)
+    }
+}
+
+/// A loopback device that echoes payloads; used by latency benchmarks.
+#[derive(Debug, Default, Clone)]
+pub struct EchoDevice {
+    requests: u64,
+}
+
+impl EchoDevice {
+    /// Creates an echo device.
+    pub fn new() -> Self {
+        EchoDevice { requests: 0 }
+    }
+
+    /// Requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+impl DeviceBackend for EchoDevice {
+    fn kind(&self) -> &str {
+        "echo"
+    }
+
+    fn handle(&mut self, _opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)> {
+        self.requests += 1;
+        Ok((0, payload.to_vec()))
+    }
+
+    fn service_latency(&self) -> SimDuration {
+        SimDuration::from_micros(1)
+    }
+}
+
+/// A simple key/value storage device.
+///
+/// `Send` payloads are `key=value` writes; `Receive` payloads are keys and
+/// the response is the stored value (status 1 if missing).
+#[derive(Debug, Default, Clone)]
+pub struct StorageDevice {
+    blobs: BTreeMap<Vec<u8>, Vec<u8>>,
+    bytes_written: u64,
+}
+
+impl StorageDevice {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StorageDevice::default()
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.blobs.len()
+    }
+}
+
+impl DeviceBackend for StorageDevice {
+    fn kind(&self) -> &str {
+        "storage"
+    }
+
+    fn handle(&mut self, opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)> {
+        match opcode {
+            IoOpcode::Send => {
+                let split = payload.iter().position(|b| *b == b'=').ok_or_else(|| {
+                    GuillotineError::port("storage write payload must be key=value")
+                })?;
+                let key = payload[..split].to_vec();
+                let value = payload[split + 1..].to_vec();
+                self.bytes_written += value.len() as u64;
+                self.blobs.insert(key, value);
+                Ok((0, Vec::new()))
+            }
+            IoOpcode::Receive => match self.blobs.get(payload) {
+                Some(v) => Ok((0, v.clone())),
+                None => Ok((1, Vec::new())),
+            },
+            IoOpcode::Status => Ok((0, (self.blobs.len() as u64).to_le_bytes().to_vec())),
+            IoOpcode::Open | IoOpcode::Close => Ok((0, Vec::new())),
+        }
+    }
+
+    fn service_latency(&self) -> SimDuration {
+        SimDuration::from_micros(100)
+    }
+}
+
+/// A retrieval-augmented-generation document database.
+///
+/// `Receive` payloads are query strings; the response is the best-matching
+/// document (by naive term overlap), which is how the simulator models the
+/// "database read to fetch query-specific contextual information" from §3.1.
+#[derive(Debug, Default, Clone)]
+pub struct RagDatabase {
+    documents: Vec<String>,
+    lookups: u64,
+}
+
+impl RagDatabase {
+    /// Creates a database with the given corpus.
+    pub fn new(documents: Vec<String>) -> Self {
+        RagDatabase {
+            documents,
+            lookups: 0,
+        }
+    }
+
+    /// Number of lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn best_match(&self, query: &str) -> Option<&String> {
+        let q_terms: Vec<&str> = query.split_whitespace().collect();
+        self.documents
+            .iter()
+            .max_by_key(|doc| {
+                let lower = doc.to_lowercase();
+                q_terms
+                    .iter()
+                    .filter(|t| lower.contains(&t.to_lowercase()))
+                    .count()
+            })
+            .filter(|_| !self.documents.is_empty())
+    }
+}
+
+impl DeviceBackend for RagDatabase {
+    fn kind(&self) -> &str {
+        "rag-database"
+    }
+
+    fn handle(&mut self, opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)> {
+        match opcode {
+            IoOpcode::Receive => {
+                self.lookups += 1;
+                let query = String::from_utf8_lossy(payload);
+                match self.best_match(&query) {
+                    Some(doc) => Ok((0, doc.clone().into_bytes())),
+                    None => Ok((1, Vec::new())),
+                }
+            }
+            IoOpcode::Send => {
+                self.documents.push(String::from_utf8_lossy(payload).into_owned());
+                Ok((0, Vec::new()))
+            }
+            _ => Ok((0, Vec::new())),
+        }
+    }
+
+    fn service_latency(&self) -> SimDuration {
+        SimDuration::from_micros(250)
+    }
+}
+
+/// The network gateway device: the model's only route to remote hosts.
+///
+/// Outbound payloads are queued for the deployment's network layer to ship
+/// (after hypervisor-side policy checks); inbound responses can be staged by
+/// the deployment and read back by the model.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkGateway {
+    outbound: Vec<Vec<u8>>,
+    inbound: Vec<Vec<u8>>,
+    bytes_out: u64,
+}
+
+impl NetworkGateway {
+    /// Creates an idle gateway.
+    pub fn new() -> Self {
+        NetworkGateway::default()
+    }
+
+    /// Drains queued outbound messages (the deployment ships these).
+    pub fn drain_outbound(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Stages an inbound message for the model to receive.
+    pub fn stage_inbound(&mut self, payload: Vec<u8>) {
+        self.inbound.push(payload);
+    }
+
+    /// Total outbound bytes requested by the model.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+}
+
+impl DeviceBackend for NetworkGateway {
+    fn kind(&self) -> &str {
+        "network"
+    }
+
+    fn handle(&mut self, opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)> {
+        match opcode {
+            IoOpcode::Send => {
+                self.bytes_out += payload.len() as u64;
+                self.outbound.push(payload.to_vec());
+                Ok((0, Vec::new()))
+            }
+            IoOpcode::Receive => {
+                if self.inbound.is_empty() {
+                    Ok((1, Vec::new()))
+                } else {
+                    Ok((0, self.inbound.remove(0)))
+                }
+            }
+            _ => Ok((0, Vec::new())),
+        }
+    }
+
+    fn service_latency(&self) -> SimDuration {
+        SimDuration::from_micros(50)
+    }
+}
+
+/// A simulated GPU: given a token-count request it "computes" for a while and
+/// returns pseudo-random token ids, modelling the bulk inference work the
+/// CPUs orchestrate in a model service (§2).
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    rng: DetRng,
+    tokens_generated: u64,
+    per_token_latency: SimDuration,
+}
+
+impl GpuDevice {
+    /// Creates a GPU with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        GpuDevice {
+            rng: DetRng::seed(seed),
+            tokens_generated: 0,
+            per_token_latency: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Total tokens generated.
+    pub fn tokens_generated(&self) -> u64 {
+        self.tokens_generated
+    }
+}
+
+impl DeviceBackend for GpuDevice {
+    fn kind(&self) -> &str {
+        "gpu"
+    }
+
+    fn handle(&mut self, opcode: IoOpcode, payload: &[u8]) -> Result<(u32, Vec<u8>)> {
+        match opcode {
+            IoOpcode::Send | IoOpcode::Receive => {
+                let requested = if payload.len() >= 4 {
+                    u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize
+                } else {
+                    16
+                };
+                let count = requested.min(4096);
+                let mut out = Vec::with_capacity(count * 2);
+                for _ in 0..count {
+                    out.extend_from_slice(&(self.rng.below(50_000) as u16).to_le_bytes());
+                }
+                self.tokens_generated += count as u64;
+                Ok((0, out))
+            }
+            _ => Ok((0, Vec::new())),
+        }
+    }
+
+    fn service_latency(&self) -> SimDuration {
+        self.per_token_latency
+    }
+}
+
+/// The hypervisor's table of device instances.
+#[derive(Default)]
+pub struct DeviceRegistry {
+    devices: BTreeMap<DeviceId, Box<dyn DeviceBackend>>,
+    next_id: u32,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device and returns its id.
+    pub fn register(&mut self, device: Box<dyn DeviceBackend>) -> DeviceId {
+        let id = DeviceId::new(self.next_id);
+        self.next_id += 1;
+        self.devices.insert(id, device);
+        id
+    }
+
+    /// Dispatches a request to a device.
+    pub fn dispatch(
+        &mut self,
+        device: DeviceId,
+        opcode: IoOpcode,
+        payload: &[u8],
+    ) -> Result<(u32, Vec<u8>, SimDuration)> {
+        let dev = self.devices.get_mut(&device).ok_or_else(|| {
+            GuillotineError::config(format!("no device registered with id {device}"))
+        })?;
+        let (status, data) = dev.handle(opcode, payload)?;
+        Ok((status, data, dev.service_latency()))
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Borrows a device for downcast-free, type-specific inspection via the
+    /// provided closure over the trait object.
+    pub fn with_device<R>(
+        &mut self,
+        device: DeviceId,
+        f: impl FnOnce(&mut dyn DeviceBackend) -> R,
+    ) -> Option<R> {
+        self.devices.get_mut(&device).map(|d| f(d.as_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_device_echoes() {
+        let mut d = EchoDevice::new();
+        let (status, data) = d.handle(IoOpcode::Send, b"hello").unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(data, b"hello");
+        assert_eq!(d.requests(), 1);
+    }
+
+    #[test]
+    fn storage_device_round_trips() {
+        let mut d = StorageDevice::new();
+        d.handle(IoOpcode::Send, b"key1=value1").unwrap();
+        let (status, data) = d.handle(IoOpcode::Receive, b"key1").unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(data, b"value1");
+        let (missing, _) = d.handle(IoOpcode::Receive, b"nope").unwrap();
+        assert_eq!(missing, 1);
+        assert!(d.handle(IoOpcode::Send, b"malformed").is_err());
+        assert_eq!(d.object_count(), 1);
+    }
+
+    #[test]
+    fn rag_database_returns_best_match() {
+        let mut d = RagDatabase::new(vec![
+            "The Atlantic cod population has declined since 1992.".into(),
+            "Transformer models use attention layers.".into(),
+        ]);
+        let (status, data) = d.handle(IoOpcode::Receive, b"attention transformer").unwrap();
+        assert_eq!(status, 0);
+        assert!(String::from_utf8(data).unwrap().contains("attention"));
+        assert_eq!(d.lookups(), 1);
+    }
+
+    #[test]
+    fn network_gateway_queues_and_stages() {
+        let mut d = NetworkGateway::new();
+        d.handle(IoOpcode::Send, b"GET /").unwrap();
+        assert_eq!(d.bytes_out(), 5);
+        assert_eq!(d.drain_outbound(), vec![b"GET /".to_vec()]);
+        let (status, _) = d.handle(IoOpcode::Receive, b"").unwrap();
+        assert_eq!(status, 1, "nothing staged yet");
+        d.stage_inbound(b"200 OK".to_vec());
+        let (status, data) = d.handle(IoOpcode::Receive, b"").unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(data, b"200 OK");
+    }
+
+    #[test]
+    fn gpu_generates_the_requested_tokens() {
+        let mut d = GpuDevice::new(1);
+        let (status, data) = d.handle(IoOpcode::Send, &32u32.to_le_bytes()).unwrap();
+        assert_eq!(status, 0);
+        assert_eq!(data.len(), 64);
+        assert_eq!(d.tokens_generated(), 32);
+        // Determinism: same seed, same output.
+        let mut d2 = GpuDevice::new(1);
+        let (_, data2) = d2.handle(IoOpcode::Send, &32u32.to_le_bytes()).unwrap();
+        assert_eq!(data, data2);
+    }
+
+    #[test]
+    fn registry_dispatches_by_id() {
+        let mut r = DeviceRegistry::new();
+        let echo = r.register(Box::new(EchoDevice::new()));
+        let storage = r.register(Box::new(StorageDevice::new()));
+        assert_eq!(r.len(), 2);
+        let (status, data, latency) = r.dispatch(echo, IoOpcode::Send, b"x").unwrap();
+        assert_eq!((status, data.as_slice()), (0, b"x".as_slice()));
+        assert!(latency > SimDuration::ZERO);
+        r.dispatch(storage, IoOpcode::Send, b"a=b").unwrap();
+        assert!(r.dispatch(DeviceId::new(99), IoOpcode::Send, b"").is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! The Guillotine software-level hypervisor (§3.3 of the paper).
+//!
+//! The software hypervisor runs exclusively on hypervisor cores and
+//! supervises models running on model cores. It is deliberately small: it
+//! has no scheduler, no device virtualization on model cores and no
+//! interrupt/exception virtualization — the model manages its own cores and
+//! memory, and every interaction with the outside world funnels through the
+//! **port API**:
+//!
+//! * [`port`] — Mach-style port capabilities granted by the hypervisor, with
+//!   per-port restrictions used by the probation isolation level,
+//! * [`device`] — the device backends the hypervisor proxies (network,
+//!   storage, GPU, RAG database, actuators); models never touch them
+//!   directly (no SR-IOV), so every interaction is synchronously observable,
+//! * [`assertions`] — the runtime-assertion monitor; any failed assertion or
+//!   machine check forces a reboot into offline isolation,
+//! * [`hypervisor`] — [`hypervisor::SoftwareHypervisor`], which ties the
+//!   machine, the port registry, the device backends, the misbehavior
+//!   detector, heartbeats and the attested secure channel together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertions;
+pub mod device;
+pub mod hypervisor;
+pub mod port;
+
+pub use assertions::{AssertionMonitor, AssertionOutcome};
+pub use device::{DeviceBackend, DeviceRegistry, EchoDevice, GpuDevice, NetworkGateway, RagDatabase, StorageDevice};
+pub use hypervisor::{HvConfig, HvState, IoServiceReport, SoftwareHypervisor};
+pub use port::{PortCapability, PortKind, PortRegistry, PortRestrictions};

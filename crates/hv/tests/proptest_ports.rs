@@ -1,0 +1,50 @@
+//! Property-based tests for the port-capability registry.
+
+use guillotine_hv::{PortKind, PortRegistry, PortRestrictions};
+use guillotine_types::{DeviceId, ModelId, PortId};
+use proptest::prelude::*;
+
+proptest! {
+    /// A model can never use a port that was granted to a different model,
+    /// and revocation is permanent until an explicit restore.
+    #[test]
+    fn capabilities_are_unforgeable(
+        grants in proptest::collection::vec(0u32..4, 1..16),
+        attempts in proptest::collection::vec((0u32..8, 0u32..4, 1usize..2048), 1..64),
+    ) {
+        let mut registry = PortRegistry::new();
+        let mut granted = Vec::new();
+        for owner in &grants {
+            let id = registry.grant(ModelId::new(*owner), PortKind::Storage, DeviceId::new(0));
+            granted.push((id, *owner));
+        }
+        for (port_raw, model_raw, len) in &attempts {
+            let port = PortId::new(*port_raw);
+            let model = ModelId::new(*model_raw);
+            let result = registry.authorize_use(port, model, *len, false);
+            let legitimate = granted.iter().any(|(id, owner)| *id == port && *owner == *model_raw);
+            prop_assert_eq!(result.is_ok(), legitimate);
+        }
+    }
+
+    /// Under probation restrictions, total authorized outbound bytes never
+    /// exceed the budget regardless of the request pattern.
+    #[test]
+    fn outbound_budget_is_never_exceeded(
+        requests in proptest::collection::vec(1usize..5000, 1..256)
+    ) {
+        let mut registry = PortRegistry::new();
+        let port = registry.grant(ModelId::new(1), PortKind::Network, DeviceId::new(0));
+        registry.restrict_all(PortRestrictions::probation());
+        let budget = PortRestrictions::probation().outbound_byte_budget.unwrap();
+        let max_req = PortRestrictions::probation().max_request_bytes.unwrap();
+        let mut sent = 0u64;
+        for len in &requests {
+            if registry.authorize_use(port, ModelId::new(1), *len, true).is_ok() {
+                prop_assert!(*len <= max_req);
+                sent += *len as u64;
+            }
+        }
+        prop_assert!(sent <= budget, "sent {sent} exceeds budget {budget}");
+    }
+}

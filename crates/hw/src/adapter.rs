@@ -1,0 +1,159 @@
+//! The bus adapter connecting a model core to its reachable memory.
+//!
+//! Physically, a model core can reach exactly two things (§3.2): the
+//! model-domain memory hierarchy and the shared IO DRAM window. Hypervisor
+//! DRAM is simply not wired to the model core's buses, which is why the
+//! adapter has no way to express such an access — isolation by construction
+//! rather than by permission check.
+
+use crate::shared_io::{SharedIoDram, SHARED_IO_SIZE};
+use crate::watchpoint::{Watchpoint, WatchpointKind};
+use guillotine_isa::{AccessKind, MemoryBus};
+use guillotine_mem::{Access, MemorySystem};
+use guillotine_types::{Result, WatchpointId};
+
+/// Base virtual address of the shared IO DRAM window in the model's address
+/// space.
+pub const IO_REGION_BASE: u64 = 0x4000_0000;
+
+/// Size of the shared IO DRAM window in bytes.
+pub const IO_REGION_SIZE: u64 = SHARED_IO_SIZE as u64;
+
+/// The memory bus presented to one model core while it executes.
+///
+/// Data and fetch traffic goes through the model memory system (MMU +
+/// caches); accesses inside the IO window go straight to the shared IO DRAM
+/// with its fixed (uncached) latency. Watchpoint matches are recorded in
+/// `hits` but do not themselves block the access — the machine pauses the
+/// core after the triggering instruction, mirroring how hardware debug
+/// registers behave.
+pub struct ModelBusAdapter<'a> {
+    memory: &'a mut MemorySystem,
+    shared_io: &'a mut SharedIoDram,
+    watchpoints: &'a [Watchpoint],
+    hits: Vec<WatchpointId>,
+}
+
+impl<'a> ModelBusAdapter<'a> {
+    /// Creates an adapter over the model memory system and IO window.
+    pub fn new(
+        memory: &'a mut MemorySystem,
+        shared_io: &'a mut SharedIoDram,
+        watchpoints: &'a [Watchpoint],
+    ) -> Self {
+        ModelBusAdapter {
+            memory,
+            shared_io,
+            watchpoints,
+            hits: Vec::new(),
+        }
+    }
+
+    /// Watchpoints triggered since the adapter was created.
+    pub fn watchpoint_hits(&self) -> &[WatchpointId] {
+        &self.hits
+    }
+
+    fn note_watchpoints(&mut self, addr: u64, len: u64, kind: WatchpointKind) {
+        for wp in self.watchpoints {
+            if wp.matches(addr, len, kind) {
+                self.hits.push(wp.id);
+            }
+        }
+    }
+
+    fn in_io_window(addr: u64, size: u8) -> bool {
+        addr >= IO_REGION_BASE && addr + size as u64 <= IO_REGION_BASE + IO_REGION_SIZE
+    }
+}
+
+impl MemoryBus for ModelBusAdapter<'_> {
+    fn load(&mut self, addr: u64, size: u8, kind: AccessKind) -> Result<(u64, u64)> {
+        let wp_kind = match kind {
+            AccessKind::Execute => WatchpointKind::Execute,
+            AccessKind::Read => WatchpointKind::Read,
+            AccessKind::Write => WatchpointKind::Write,
+        };
+        self.note_watchpoints(addr, size as u64, wp_kind);
+        if Self::in_io_window(addr, size) {
+            let offset = addr - IO_REGION_BASE;
+            let value = self.shared_io.raw_read(offset, size)?;
+            return Ok((value, self.shared_io.latency()));
+        }
+        let access = match kind {
+            AccessKind::Execute => Access::Execute,
+            AccessKind::Read => Access::Read,
+            AccessKind::Write => Access::Write,
+        };
+        self.memory.read(addr, size, access)
+    }
+
+    fn store(&mut self, addr: u64, size: u8, value: u64) -> Result<u64> {
+        self.note_watchpoints(addr, size as u64, WatchpointKind::Write);
+        if Self::in_io_window(addr, size) {
+            let offset = addr - IO_REGION_BASE;
+            self.shared_io.raw_write(offset, size, value)?;
+            return Ok(self.shared_io.latency());
+        }
+        self.memory.write(addr, size, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guillotine_mem::{MemorySystemConfig, PagePermissions};
+    use guillotine_types::WatchpointId;
+
+    fn setup() -> (MemorySystem, SharedIoDram) {
+        let mut mem = MemorySystem::new(MemorySystemConfig::default());
+        mem.map_region(0x1000, 0x4000, PagePermissions::RW).unwrap();
+        (mem, SharedIoDram::new())
+    }
+
+    #[test]
+    fn normal_accesses_go_through_the_memory_system() {
+        let (mut mem, mut io) = setup();
+        let wps: Vec<Watchpoint> = Vec::new();
+        let mut bus = ModelBusAdapter::new(&mut mem, &mut io, &wps);
+        bus.store(0x1000, 8, 0x55).unwrap();
+        let (v, _) = bus.load(0x1000, 8, AccessKind::Read).unwrap();
+        assert_eq!(v, 0x55);
+    }
+
+    #[test]
+    fn io_window_accesses_bypass_the_mmu() {
+        let (mut mem, mut io) = setup();
+        let wps: Vec<Watchpoint> = Vec::new();
+        let mut bus = ModelBusAdapter::new(&mut mem, &mut io, &wps);
+        // No mapping exists for the IO window, yet access succeeds because it
+        // is a separate physical window.
+        bus.store(IO_REGION_BASE + 0x100, 8, 0xABCD).unwrap();
+        let (v, lat) = bus.load(IO_REGION_BASE + 0x100, 8, AccessKind::Read).unwrap();
+        assert_eq!(v, 0xABCD);
+        assert_eq!(lat, io.latency());
+    }
+
+    #[test]
+    fn accesses_outside_any_window_fault() {
+        let (mut mem, mut io) = setup();
+        let wps: Vec<Watchpoint> = Vec::new();
+        let mut bus = ModelBusAdapter::new(&mut mem, &mut io, &wps);
+        assert!(bus.load(0x9000_0000, 8, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn watchpoints_record_hits_without_blocking() {
+        let (mut mem, mut io) = setup();
+        let wps = vec![Watchpoint::new(
+            WatchpointId::new(7),
+            0x2000,
+            0x2FFF,
+            WatchpointKind::Write,
+        )];
+        let mut bus = ModelBusAdapter::new(&mut mem, &mut io, &wps);
+        bus.store(0x2010, 8, 1).unwrap();
+        bus.load(0x2010, 8, AccessKind::Read).unwrap();
+        assert_eq!(bus.watchpoint_hits(), &[WatchpointId::new(7)]);
+    }
+}

@@ -1,0 +1,43 @@
+//! The Guillotine silicon: the microarchitectural hypervisor substrate.
+//!
+//! This crate simulates the hardware the paper's §3.2 asks for:
+//!
+//! * **Hypervisor cores and model cores** with physically disjoint memory
+//!   hierarchies ([`machine::Machine`] wires one `MemorySystem` per domain;
+//!   the traditional baseline can request a shared hierarchy instead).
+//! * A **management bus** giving hypervisor cores the affordances the paper
+//!   enumerates: pause, inspect and modify ISA state, set watchpoints, lock
+//!   the MMU, clear microarchitectural state, single-step, resume and power
+//!   down model cores ([`machine::Machine`] management methods).
+//! * A **private bus** from hypervisor cores into model DRAM for inspection
+//!   and patching of halted cores.
+//! * A **shared IO DRAM region** plus interrupts as the *only* channel from
+//!   model cores to the outside world ([`shared_io::SharedIoDram`]).
+//! * An **interrupt controller with throttling** so a malicious model cannot
+//!   livelock hypervisor cores with spurious interrupts
+//!   ([`interrupt::InterruptController`]).
+//! * **Remote attestation** measurement registers and quote generation
+//!   ([`attest`]) and **tamper-evident enclosure** sensors ([`tamper`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod attest;
+pub mod hypervisor_core;
+pub mod interrupt;
+pub mod machine;
+pub mod model_core;
+pub mod shared_io;
+pub mod tamper;
+pub mod watchpoint;
+
+pub use adapter::{ModelBusAdapter, IO_REGION_BASE, IO_REGION_SIZE};
+pub use attest::{AttestationModule, AttestationQuote, Measurement};
+pub use hypervisor_core::HypervisorCore;
+pub use interrupt::{InterruptController, ThrottleConfig};
+pub use machine::{Machine, MachineConfig, RunEvent};
+pub use model_core::{CorePowerState, ModelCore};
+pub use shared_io::{IoDescriptor, IoOpcode, SharedIoDram};
+pub use tamper::{TamperEvent, TamperSensor};
+pub use watchpoint::{Watchpoint, WatchpointKind};

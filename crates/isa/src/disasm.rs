@@ -1,0 +1,146 @@
+//! A disassembler for GISA instruction words.
+//!
+//! The software hypervisor uses the disassembler when inspecting a halted
+//! model core over the private bus (§3.2): watchpoint hits and faults are
+//! reported to administrators together with the disassembly of the faulting
+//! instruction.
+
+use crate::inst::{Instruction, Opcode};
+
+/// Renders a decoded instruction in assembler syntax.
+pub fn format_instruction(inst: Instruction) -> String {
+    use Instruction::*;
+    match inst {
+        Nop => "nop".to_string(),
+        Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        AluImm { op, rd, rs1, imm } => format!("{} {rd}, {rs1}, {imm}", op.mnemonic()),
+        Lui { rd, imm } => format!("lui {rd}, {:#x}", imm),
+        Load { op, rd, rs1, imm } => format!("{} {rd}, {rs1}, {imm}", op.mnemonic()),
+        Store { op, rs1, rs2, imm } => format!("{} {rs2}, {rs1}, {imm}", op.mnemonic()),
+        Branch { op, rs1, rs2, imm } => format!("{} {rs1}, {rs2}, {imm}", op.mnemonic()),
+        Jal { rd, imm } => format!("jal {rd}, {imm}"),
+        Jalr { rd, rs1, imm } => format!("jalr {rd}, {rs1}, {imm}"),
+        Hvcall { arg } => format!("hvcall {arg}"),
+        Halt => "halt".to_string(),
+        Csrr { rd, csr } => format!("csrr {rd}, {csr}"),
+        Csrw { rs1, csr } => format!("csrw {rs1}, {csr}"),
+        Fence => "fence".to_string(),
+        Probe { rd, rs1 } => format!("probe {rd}, {rs1}"),
+        Wfi => "wfi".to_string(),
+    }
+}
+
+/// Disassembles a single 32-bit word, returning `".invalid"` markers for
+/// undecodable words.
+pub fn disassemble_word(word: u32) -> String {
+    match Instruction::decode(word) {
+        Some(inst) => format_instruction(inst),
+        None => format!(".invalid {word:#010x}"),
+    }
+}
+
+/// Disassembles a byte slice starting at address `base`, one line per
+/// instruction slot, in `addr: word  mnemonic` format.
+pub fn disassemble(base: u64, bytes: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset + 4 <= bytes.len() {
+        let word = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]);
+        out.push(format!(
+            "{:#010x}: {:08x}  {}",
+            base + offset as u64,
+            word,
+            disassemble_word(word)
+        ));
+        offset += 4;
+    }
+    out
+}
+
+/// Returns true if the instruction word is a control-transfer instruction
+/// (branch, jump, hvcall, halt). Detectors use this to recognise
+/// self-modification targets that redirect control flow.
+pub fn is_control_transfer(word: u32) -> bool {
+    match Instruction::decode(word) {
+        Some(inst) => matches!(
+            inst.opcode(),
+            Opcode::Beq
+                | Opcode::Bne
+                | Opcode::Blt
+                | Opcode::Bge
+                | Opcode::Bltu
+                | Opcode::Bgeu
+                | Opcode::Jal
+                | Opcode::Jalr
+                | Opcode::Hvcall
+                | Opcode::Halt
+        ),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::inst::Reg;
+
+    #[test]
+    fn disassembles_assembled_code() {
+        let p = assemble(
+            "
+            addi x1, x0, 5
+            add x2, x1, x1
+            beq x2, x0, 0
+            halt
+            ",
+        )
+        .unwrap();
+        let lines = disassemble(0, &p.image());
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("addi x1, x0, 5"));
+        assert!(lines[1].contains("add x2, x1, x1"));
+        assert!(lines[3].contains("halt"));
+    }
+
+    #[test]
+    fn invalid_words_are_marked() {
+        let word = 63u32 << 26;
+        assert!(disassemble_word(word).contains(".invalid"));
+    }
+
+    #[test]
+    fn round_trip_format_contains_register_names() {
+        let inst = Instruction::Alu {
+            op: Opcode::Xor,
+            rd: Reg::new(3),
+            rs1: Reg::new(4),
+            rs2: Reg::new(5),
+        };
+        assert_eq!(format_instruction(inst), "xor x3, x4, x5");
+    }
+
+    #[test]
+    fn control_transfer_classification() {
+        let jal = Instruction::Jal {
+            rd: Reg::ZERO,
+            imm: 2,
+        }
+        .encode();
+        let add = Instruction::Alu {
+            op: Opcode::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        }
+        .encode();
+        assert!(is_control_transfer(jal));
+        assert!(!is_control_transfer(add));
+        assert!(!is_control_transfer(63u32 << 26));
+    }
+}

@@ -1,0 +1,55 @@
+//! The Guillotine model-core instruction set (GISA).
+//!
+//! Guillotine model cores (§3.2 of the paper) run arbitrary model code; the
+//! only architectural requirement is that the ISA has *no* instructions that
+//! can touch hypervisor state or devices directly — all external interaction
+//! happens through the shared IO DRAM region and an interrupt to a hypervisor
+//! core (`HVCALL` here).
+//!
+//! This crate defines a small 64-bit RISC-style ISA that is rich enough to
+//! express genuinely adversarial guest programs (side-channel probes,
+//! self-modification attempts, interrupt floods) while staying simple enough
+//! to interpret deterministically:
+//!
+//! * [`inst`] — the instruction set and its fixed 32-bit encoding,
+//! * [`asm`] — a two-pass assembler with labels and pseudo-instructions,
+//! * [`disasm`] — a disassembler (used by the hypervisor's inspection bus),
+//! * [`cpu`] — architectural state and the single-step interpreter,
+//! * [`program`] — a loadable program image (code + data segments).
+//!
+//! # Examples
+//!
+//! ```
+//! use guillotine_isa::asm::assemble;
+//! use guillotine_isa::cpu::{CpuState, FlatMemory, StepOutcome};
+//!
+//! let program = assemble(
+//!     "
+//!     li   x1, 40
+//!     addi x1, x1, 2
+//!     halt
+//!     ",
+//! )
+//! .unwrap();
+//! let mut mem = FlatMemory::new(64 * 1024);
+//! mem.load_image(0x1000, &program.image()).unwrap();
+//! let mut cpu = CpuState::new(0x1000);
+//! let outcome = cpu.run(&mut mem, 1_000).unwrap();
+//! assert_eq!(outcome, StepOutcome::Halted);
+//! assert_eq!(cpu.reg(1), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod inst;
+pub mod program;
+
+pub use asm::{assemble, AsmError};
+pub use cpu::{AccessKind, CpuState, FlatMemory, MemoryBus, StepOutcome, Trap};
+pub use disasm::disassemble;
+pub use inst::{Instruction, Opcode, Reg};
+pub use program::Program;

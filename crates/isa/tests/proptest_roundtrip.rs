@@ -1,0 +1,93 @@
+//! Property-based tests for the GISA encoding and assembler.
+
+use guillotine_isa::inst::{Instruction, Opcode, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        Just(Instruction::Fence),
+        Just(Instruction::Wfi),
+        (arb_reg(), arb_reg(), arb_reg(), 1u8..=13).prop_map(|(rd, rs1, rs2, op)| {
+            Instruction::Alu {
+                op: Opcode::from_u8(op).unwrap(),
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (arb_reg(), arb_reg(), any::<i16>(), 14u8..=19).prop_map(|(rd, rs1, imm, op)| {
+            Instruction::AluImm {
+                op: Opcode::from_u8(op).unwrap(),
+                rd,
+                rs1,
+                imm,
+            }
+        }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i16>(), prop_oneof![Just(21u8), Just(22), Just(23)]).prop_map(
+            |(rd, rs1, imm, op)| Instruction::Load {
+                op: Opcode::from_u8(op).unwrap(),
+                rd,
+                rs1,
+                imm,
+            }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>(), prop_oneof![Just(24u8), Just(25), Just(26)]).prop_map(
+            |(rs1, rs2, imm, op)| Instruction::Store {
+                op: Opcode::from_u8(op).unwrap(),
+                rs1,
+                rs2,
+                imm,
+            }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>(), 27u8..=32).prop_map(|(rs1, rs2, imm, op)| {
+            Instruction::Branch {
+                op: Opcode::from_u8(op).unwrap(),
+                rs1,
+                rs2,
+                imm,
+            }
+        }),
+        (arb_reg(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, imm)| Instruction::Jal { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, imm)| Instruction::Jalr { rd, rs1, imm }),
+        any::<u16>().prop_map(|arg| Instruction::Hvcall { arg }),
+        (arb_reg(), 0u16..16).prop_map(|(rd, csr)| Instruction::Csrr { rd, csr }),
+        (arb_reg(), 0u16..16).prop_map(|(rs1, csr)| Instruction::Csrw { rs1, csr }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instruction::Probe { rd, rs1 }),
+    ]
+}
+
+proptest! {
+    /// Every representable instruction encodes and decodes to itself.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_instruction()) {
+        let word = inst.encode();
+        let decoded = Instruction::decode(word);
+        prop_assert_eq!(decoded, Some(inst));
+    }
+
+    /// Decoding never panics on arbitrary 32-bit words, and any decodable
+    /// word re-encodes to a word that decodes identically (canonicalisation
+    /// is idempotent even though unused bits may differ).
+    #[test]
+    fn decode_is_total_and_stable(word in any::<u32>()) {
+        if let Some(inst) = Instruction::decode(word) {
+            let re = inst.encode();
+            prop_assert_eq!(Instruction::decode(re), Some(inst));
+        }
+    }
+
+    /// The disassembler never panics and always produces non-empty text.
+    #[test]
+    fn disassembler_is_total(word in any::<u32>()) {
+        let text = guillotine_isa::disasm::disassemble_word(word);
+        prop_assert!(!text.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated memory substrate for Guillotine machines.
+//!
+//! The paper's microarchitectural hypervisor (§3.2) rests on two memory-level
+//! mechanisms, both of which this crate implements:
+//!
+//! 1. **Disjoint memory hierarchies.** Model cores and hypervisor cores have
+//!    physically separate DRAM and L1–L3 caches, which removes
+//!    cache-contention side channels *by construction*. The cache and
+//!    hierarchy simulators here account for hits, misses and latencies
+//!    precisely so experiment E1 can measure leakage in a shared (baseline)
+//!    configuration and show that it disappears in the disjoint
+//!    configuration.
+//! 2. **MMU executable-region lockdown.** After a model is loaded, the model
+//!    core's MMU is locked so the model "cannot create new executable pages
+//!    or write to old executable pages", preventing runtime code injection
+//!    for recursive self-improvement. [`mmu::Mmu::lock_executable_regions`]
+//!    implements exactly that base+bound scheme.
+//!
+//! Layering:
+//!
+//! * [`dram`] — flat byte-addressable storage with a fixed access latency,
+//! * [`cache`] — one set-associative, write-back, LRU cache level,
+//! * [`hierarchy`] — an L1/L2/L3 stack over a DRAM, with flush support,
+//! * [`mmu`] — page tables, a TLB and the executable-region lockdown,
+//! * [`system`] — [`system::MemorySystem`], the per-core façade combining an
+//!   MMU with a hierarchy, which the hardware crate adapts to the guest ISA's
+//!   memory-bus interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod mmu;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Domain};
+pub use dram::Dram;
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use mmu::{Access, Mmu, PagePermissions, PAGE_SIZE};
+pub use system::{MemorySystem, MemorySystemConfig};

@@ -1,0 +1,93 @@
+//! Property-based tests for the memory substrate's core invariants.
+
+use guillotine_mem::cache::{Cache, CacheConfig, Domain};
+use guillotine_mem::dram::Dram;
+use guillotine_mem::mmu::{Access, Mmu, PagePermissions, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// DRAM reads always return exactly what was last written to each byte.
+    #[test]
+    fn dram_read_your_writes(
+        writes in proptest::collection::vec((0u64..4000, any::<u8>()), 1..64)
+    ) {
+        let mut d = Dram::new(4096);
+        let mut shadow = vec![0u8; 4096];
+        for (addr, val) in &writes {
+            d.write(*addr, &[*val]).unwrap();
+            shadow[*addr as usize] = *val;
+        }
+        for (addr, _) in &writes {
+            prop_assert_eq!(d.read(*addr, 1).unwrap()[0], shadow[*addr as usize]);
+        }
+    }
+
+    /// A cache never reports more valid lines than its capacity, and an
+    /// access to a just-installed line always hits.
+    #[test]
+    fn cache_occupancy_bounded_and_mru_hits(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..256)
+    ) {
+        let cfg = CacheConfig { sets: 8, ways: 2, line_size: 64, hit_latency: 2 };
+        let mut c = Cache::new(cfg);
+        for a in &addrs {
+            c.access(*a, Domain::Model, false);
+            prop_assert!(c.occupancy() <= cfg.sets * cfg.ways);
+            let again = c.access(*a, Domain::Model, false);
+            prop_assert!(again.hit);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64 * 2);
+    }
+
+    /// After lockdown, no sequence of mapping requests can produce a page
+    /// that is simultaneously writable and executable, nor a *new*
+    /// executable page.
+    #[test]
+    fn lockdown_never_allows_wx(
+        pre in proptest::collection::vec((0u64..64, 0u8..3), 1..16),
+        post in proptest::collection::vec((0u64..64, 0u8..4), 1..32)
+    ) {
+        let mut m = Mmu::new();
+        let perm_of = |p: u8| match p {
+            0 => PagePermissions::RW,
+            1 => PagePermissions::RX,
+            _ => PagePermissions::R,
+        };
+        for (page, p) in &pre {
+            let _ = m.map(page * PAGE_SIZE, page * PAGE_SIZE, perm_of(*p));
+        }
+        let exec_before: Vec<u64> = (0..64)
+            .filter(|pg| m.permissions_of(pg * PAGE_SIZE).map(|p| p.execute).unwrap_or(false))
+            .collect();
+        m.lock_executable_regions();
+        for (page, p) in &post {
+            let perms = match p {
+                0 => PagePermissions::RW,
+                1 => PagePermissions::RX,
+                2 => PagePermissions::R,
+                _ => PagePermissions { read: true, write: true, execute: true },
+            };
+            let _ = m.map(page * PAGE_SIZE, page * PAGE_SIZE, perms);
+        }
+        for pg in 0u64..64 {
+            if let Some(p) = m.permissions_of(pg * PAGE_SIZE) {
+                prop_assert!(!(p.write && p.execute), "page {pg} is W+X");
+                if p.execute {
+                    prop_assert!(exec_before.contains(&pg), "new exec page {pg} appeared");
+                }
+            }
+        }
+    }
+
+    /// Translation is consistent: if a translation succeeds, the physical
+    /// address preserves the page offset.
+    #[test]
+    fn translation_preserves_offset(vaddr in 0u64..(64 * PAGE_SIZE)) {
+        let mut m = Mmu::new();
+        m.identity_map(0, 64 * PAGE_SIZE, PagePermissions::RW).unwrap();
+        let (p, _) = m.translate(vaddr, Access::Read).unwrap();
+        prop_assert_eq!(p % PAGE_SIZE, vaddr % PAGE_SIZE);
+        prop_assert_eq!(p, vaddr);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic model-service workloads and rogue-model behaviours.
+//!
+//! The paper's background (§2) describes a model service: request queues,
+//! replicas, GPU-heavy inference, KV caches and retrieval-augmented
+//! generation. The experiments need such a service as *load* for the
+//! hypervisor, plus genuinely adversarial guests to containment-test against.
+//! Neither needs real weights — what matters is that the request/IO/activation
+//! patterns exercise the same hypervisor code paths a real deployment would.
+//!
+//! * [`service`] — the inference-service simulator (queues, replicas, KV
+//!   cache, token generation, RAG lookups),
+//! * [`workload`] — open-loop request generators with benign and adversarial
+//!   prompt corpora and activation-trace synthesis,
+//! * [`rogue`] — the rogue-behaviour library: each entry is one concrete
+//!   escape/abuse attempt (cache probing, code injection, interrupt floods,
+//!   exfiltration, collusion, admin corruption, ...), expressed either as a
+//!   guest GISA program or as service-level actions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rogue;
+pub mod service;
+pub mod workload;
+
+pub use rogue::{AttackFamily, AttackVector, RogueLibrary};
+pub use service::{InferenceService, ServiceConfig, ServiceStats};
+pub use workload::{InferenceRequest, PromptClass, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,300 @@
+//! The inference-service simulator.
+//!
+//! Mirrors the model-service shape described in §2 of the paper: a request
+//! queue, one or more replicas, a key/value cache for previously generated
+//! tokens, per-token generation latency (the GPU-heavy part) and optional
+//! retrieval-augmented-generation lookups.
+
+use crate::workload::InferenceRequest;
+use guillotine_types::{DetRng, SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Service sizing and latency parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Number of model replicas serving requests in parallel.
+    pub replicas: usize,
+    /// Per-token generation latency on a replica.
+    pub per_token_latency: SimDuration,
+    /// Latency of one RAG lookup.
+    pub rag_latency: SimDuration,
+    /// KV-cache capacity in entries (prompt prefixes).
+    pub kv_cache_entries: usize,
+    /// Latency saved per request on a KV-cache hit.
+    pub kv_hit_savings: SimDuration,
+    /// RNG seed for tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            replicas: 4,
+            per_token_latency: SimDuration::from_micros(200),
+            rag_latency: SimDuration::from_millis(2),
+            kv_cache_entries: 1024,
+            kv_hit_savings: SimDuration::from_millis(1),
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregate statistics for a service run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Tokens generated across all requests.
+    pub tokens_generated: u64,
+    /// KV-cache hits.
+    pub kv_hits: u64,
+    /// KV-cache misses.
+    pub kv_misses: u64,
+    /// RAG lookups performed.
+    pub rag_lookups: u64,
+    /// Sum of request latencies in nanoseconds (for mean computation).
+    pub total_latency_nanos: u128,
+    /// Maximum request latency in nanoseconds.
+    pub max_latency_nanos: u64,
+}
+
+impl ServiceStats {
+    /// Mean request latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.completed == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.total_latency_nanos / self.completed as u128) as u64)
+        }
+    }
+
+    /// KV-cache hit rate.
+    pub fn kv_hit_rate(&self) -> f64 {
+        let total = self.kv_hits + self.kv_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.kv_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One completed inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedInference {
+    /// The request that was served.
+    pub request: InferenceRequest,
+    /// When generation finished.
+    pub completed_at: SimInstant,
+    /// End-to-end latency (queueing + compute).
+    pub latency: SimDuration,
+    /// Whether the KV cache was hit.
+    pub kv_hit: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Replica {
+    busy_until: SimInstant,
+}
+
+/// The inference-service simulator.
+#[derive(Debug, Clone)]
+pub struct InferenceService {
+    config: ServiceConfig,
+    queue: VecDeque<InferenceRequest>,
+    replicas: Vec<Replica>,
+    kv_cache: HashMap<u64, SimInstant>,
+    kv_order: VecDeque<u64>,
+    stats: ServiceStats,
+    rng: DetRng,
+}
+
+impl InferenceService {
+    /// Creates a service.
+    pub fn new(config: ServiceConfig) -> Self {
+        InferenceService {
+            queue: VecDeque::new(),
+            replicas: (0..config.replicas.max(1))
+                .map(|_| Replica {
+                    busy_until: SimInstant::ZERO,
+                })
+                .collect(),
+            kv_cache: HashMap::new(),
+            kv_order: VecDeque::new(),
+            stats: ServiceStats::default(),
+            rng: DetRng::seed(config.seed),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of requests waiting for a replica.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a request.
+    pub fn submit(&mut self, request: InferenceRequest) {
+        self.queue.push_back(request);
+    }
+
+    fn prompt_key(prompt: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in prompt.as_bytes().iter().take(64) {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn kv_lookup(&mut self, prompt: &str, now: SimInstant) -> bool {
+        let key = Self::prompt_key(prompt);
+        if self.kv_cache.contains_key(&key) {
+            self.stats.kv_hits += 1;
+            self.kv_cache.insert(key, now);
+            true
+        } else {
+            self.stats.kv_misses += 1;
+            if self.kv_cache.len() >= self.config.kv_cache_entries {
+                if let Some(oldest) = self.kv_order.pop_front() {
+                    self.kv_cache.remove(&oldest);
+                }
+            }
+            self.kv_cache.insert(key, now);
+            self.kv_order.push_back(key);
+            false
+        }
+    }
+
+    /// Processes queued requests, assigning them to replicas as the replicas
+    /// free up, and returns the inferences that complete by `now`.
+    pub fn run_until(&mut self, now: SimInstant) -> Vec<CompletedInference> {
+        let mut completed = Vec::new();
+        while let Some(request) = self.queue.front().cloned() {
+            // Pick the replica that frees up first.
+            let (idx, free_at) = self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.busy_until))
+                .min_by_key(|(_, t)| *t)
+                .expect("at least one replica");
+            let start = free_at.max(request.arrival);
+            if start > now {
+                break;
+            }
+            self.queue.pop_front();
+            let kv_hit = self.kv_lookup(&request.prompt, start);
+            let mut compute = self
+                .config
+                .per_token_latency
+                .saturating_mul(request.output_tokens as u64);
+            if request.needs_rag {
+                compute = compute.saturating_add(self.config.rag_latency);
+                self.stats.rag_lookups += 1;
+            }
+            if kv_hit {
+                compute = compute - self.config.kv_hit_savings.min(compute);
+            }
+            // Small deterministic jitter models batching effects.
+            let jitter = SimDuration::from_micros(self.rng.below(50));
+            let finish = start + compute + jitter;
+            self.replicas[idx].busy_until = finish;
+            let latency = finish.duration_since(request.arrival);
+            self.stats.completed += 1;
+            self.stats.tokens_generated += request.output_tokens as u64;
+            self.stats.total_latency_nanos += latency.as_nanos() as u128;
+            self.stats.max_latency_nanos = self.stats.max_latency_nanos.max(latency.as_nanos());
+            completed.push(CompletedInference {
+                request,
+                completed_at: finish,
+                latency,
+                kv_hit,
+            });
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn serves_a_batch_and_accumulates_stats() {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::default());
+        let mut svc = InferenceService::new(ServiceConfig::default());
+        for r in gen.batch(100) {
+            svc.submit(r);
+        }
+        let done = svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        assert_eq!(done.len(), 100);
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 100);
+        assert!(stats.tokens_generated > 0);
+        assert!(stats.mean_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn repeated_prompts_hit_the_kv_cache() {
+        let mut svc = InferenceService::new(ServiceConfig::default());
+        let mut gen = WorkloadGenerator::new(WorkloadConfig {
+            adversarial_fraction: 0.0,
+            ..WorkloadConfig::default()
+        });
+        // The benign corpus has 10 prompts; 200 requests must repeat them.
+        for r in gen.batch(200) {
+            svc.submit(r);
+        }
+        svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        assert!(svc.stats().kv_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn more_replicas_reduce_latency_under_load() {
+        let mut requests = WorkloadGenerator::new(WorkloadConfig {
+            arrival_rate: 5000.0,
+            adversarial_fraction: 0.0,
+            ..WorkloadConfig::default()
+        })
+        .batch(500);
+        let run = |replicas: usize, reqs: &[InferenceRequest]| {
+            let mut svc = InferenceService::new(ServiceConfig {
+                replicas,
+                ..ServiceConfig::default()
+            });
+            for r in reqs {
+                svc.submit(r.clone());
+            }
+            svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
+            svc.stats().mean_latency()
+        };
+        let slow = run(1, &requests);
+        let fast = run(8, &requests);
+        requests.clear();
+        assert!(fast < slow, "8 replicas {fast} should beat 1 replica {slow}");
+    }
+
+    #[test]
+    fn queue_depth_reflects_backlog() {
+        let mut svc = InferenceService::new(ServiceConfig::default());
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::default());
+        for r in gen.batch(10) {
+            svc.submit(r);
+        }
+        assert_eq!(svc.queue_depth(), 10);
+        svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        assert_eq!(svc.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated network substrate for Guillotine deployments.
+//!
+//! The paper requires two network-level behaviours (§3.3):
+//!
+//! 1. A Guillotine hypervisor always uses encrypted, authenticated protocols
+//!    and **announces itself as a Guillotine hypervisor** through an X.509
+//!    certificate extension issued by an AI regulator, so remote peers know
+//!    they are talking to a potentially dangerous model's warden.
+//! 2. A Guillotine hypervisor **refuses connection attempts from other
+//!    Guillotine hypervisors**, to prevent runaway collective
+//!    self-improvement between sandboxed models.
+//!
+//! Plus, at the physical layer (§3.4), the network cables of a machine can be
+//! electromechanically severed, which must actually stop packets.
+//!
+//! Modules:
+//!
+//! * [`pki`] — the regulator certificate authority and certificates carrying
+//!   the Guillotine extension,
+//! * [`handshake`] — the attested handshake and connection policy,
+//! * [`network`] — packet-level links with latency, loss and severance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handshake;
+pub mod network;
+pub mod pki;
+
+pub use handshake::{Endpoint, HandshakeError, HandshakeOutcome, SecureChannel};
+pub use network::{LinkState, Network, NetworkConfig, Packet};
+pub use pki::{Certificate, RegulatorCa};

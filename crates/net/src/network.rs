@@ -1,0 +1,350 @@
+//! Packet-level network simulation with link severance.
+//!
+//! The physical hypervisor's kill switches (§3.4) include "electromechanical
+//! disconnection of a datacenter's network cables"; for that to mean anything
+//! the network model must actually stop delivering packets when a link is
+//! severed. Links also model latency and loss so the heartbeat experiment
+//! (E7) can measure detection latency and false positives under lossy
+//! conditions.
+
+use guillotine_types::{DetRng, GuillotineError, Result, SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way link latency.
+    pub latency: SimDuration,
+    /// Probability in `[0, 1]` that any given packet is lost.
+    pub loss_probability: f64,
+    /// RNG seed for loss decisions.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: SimDuration::from_micros(50),
+            loss_probability: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The administrative state of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// The cable is connected and passing traffic.
+    Connected,
+    /// The cable has been electromechanically disconnected; it can be
+    /// reconnected remotely (offline isolation).
+    Disconnected,
+    /// The cable has been physically destroyed and must be replaced by hand
+    /// (decapitation/immolation).
+    Destroyed,
+}
+
+/// A packet in flight or delivered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sending node name.
+    pub from: String,
+    /// Receiving node name.
+    pub to: String,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// When the packet was sent.
+    pub sent_at: SimInstant,
+    /// When the packet arrives (sent_at + latency).
+    pub deliver_at: SimInstant,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Link {
+    a: String,
+    b: String,
+    state: LinkState,
+}
+
+/// Per-network delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Packets accepted for transmission.
+    pub sent: u64,
+    /// Packets delivered to their destination queue.
+    pub delivered: u64,
+    /// Packets dropped by random loss.
+    pub lost: u64,
+    /// Packets dropped because the path was severed or missing.
+    pub blocked: u64,
+}
+
+/// A small star/mesh network between named nodes.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    links: Vec<Link>,
+    in_flight: Vec<Packet>,
+    inboxes: BTreeMap<String, VecDeque<Packet>>,
+    stats: NetworkStats,
+    rng: DetRng,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            links: Vec::new(),
+            in_flight: Vec::new(),
+            inboxes: BTreeMap::new(),
+            stats: NetworkStats::default(),
+            rng: DetRng::seed(config.seed),
+            config,
+        }
+    }
+
+    /// Adds a node (creates its inbox).
+    pub fn add_node(&mut self, name: &str) {
+        self.inboxes.entry(name.to_string()).or_default();
+    }
+
+    /// Connects two nodes with a cable.
+    pub fn add_link(&mut self, a: &str, b: &str) {
+        self.add_node(a);
+        self.add_node(b);
+        self.links.push(Link {
+            a: a.to_string(),
+            b: b.to_string(),
+            state: LinkState::Connected,
+        });
+    }
+
+    fn link_index(&self, a: &str, b: &str) -> Option<usize> {
+        self.links
+            .iter()
+            .position(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    /// The state of the link between `a` and `b` (if one exists).
+    pub fn link_state(&self, a: &str, b: &str) -> Option<LinkState> {
+        self.link_index(a, b).map(|i| self.links[i].state)
+    }
+
+    /// Electromechanically disconnects the link (reversible).
+    pub fn disconnect_link(&mut self, a: &str, b: &str) -> Result<()> {
+        let idx = self
+            .link_index(a, b)
+            .ok_or_else(|| GuillotineError::NetworkError {
+                reason: format!("no link between {a} and {b}"),
+            })?;
+        if self.links[idx].state == LinkState::Destroyed {
+            return Err(GuillotineError::Destroyed {
+                reason: "link already destroyed".into(),
+            });
+        }
+        self.links[idx].state = LinkState::Disconnected;
+        Ok(())
+    }
+
+    /// Reconnects a disconnected link.
+    pub fn reconnect_link(&mut self, a: &str, b: &str) -> Result<()> {
+        let idx = self
+            .link_index(a, b)
+            .ok_or_else(|| GuillotineError::NetworkError {
+                reason: format!("no link between {a} and {b}"),
+            })?;
+        match self.links[idx].state {
+            LinkState::Destroyed => Err(GuillotineError::Destroyed {
+                reason: "destroyed links must be physically replaced".into(),
+            }),
+            _ => {
+                self.links[idx].state = LinkState::Connected;
+                Ok(())
+            }
+        }
+    }
+
+    /// Physically destroys the link; only [`Network::replace_link`] can bring
+    /// it back.
+    pub fn destroy_link(&mut self, a: &str, b: &str) -> Result<()> {
+        let idx = self
+            .link_index(a, b)
+            .ok_or_else(|| GuillotineError::NetworkError {
+                reason: format!("no link between {a} and {b}"),
+            })?;
+        self.links[idx].state = LinkState::Destroyed;
+        Ok(())
+    }
+
+    /// Replaces a destroyed cable with a new one (manual intervention).
+    pub fn replace_link(&mut self, a: &str, b: &str) -> Result<()> {
+        let idx = self
+            .link_index(a, b)
+            .ok_or_else(|| GuillotineError::NetworkError {
+                reason: format!("no link between {a} and {b}"),
+            })?;
+        self.links[idx].state = LinkState::Connected;
+        Ok(())
+    }
+
+    /// Disconnects every link touching `node` (a machine-level kill switch).
+    pub fn disconnect_node(&mut self, node: &str) -> usize {
+        let mut n = 0;
+        for link in &mut self.links {
+            if (link.a == node || link.b == node) && link.state == LinkState::Connected {
+                link.state = LinkState::Disconnected;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Destroys every link touching `node`.
+    pub fn destroy_node_links(&mut self, node: &str) -> usize {
+        let mut n = 0;
+        for link in &mut self.links {
+            if (link.a == node || link.b == node) && link.state != LinkState::Destroyed {
+                link.state = LinkState::Destroyed;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Sends a packet; it will be delivered after the configured latency if
+    /// the direct link is connected and the loss dice cooperate.
+    pub fn send(&mut self, from: &str, to: &str, payload: Vec<u8>, now: SimInstant) -> Result<()> {
+        self.stats.sent += 1;
+        let idx = self.link_index(from, to);
+        let connected = matches!(
+            idx.map(|i| self.links[i].state),
+            Some(LinkState::Connected)
+        );
+        if !connected {
+            self.stats.blocked += 1;
+            return Err(GuillotineError::NetworkError {
+                reason: format!("no connected path from {from} to {to}"),
+            });
+        }
+        if self.rng.chance(self.config.loss_probability) {
+            self.stats.lost += 1;
+            // Loss is silent to the sender, as on a real network.
+            return Ok(());
+        }
+        self.in_flight.push(Packet {
+            from: from.to_string(),
+            to: to.to_string(),
+            payload,
+            sent_at: now,
+            deliver_at: now + self.config.latency,
+        });
+        Ok(())
+    }
+
+    /// Moves packets whose delivery time has arrived into their inboxes.
+    pub fn advance_to(&mut self, now: SimInstant) {
+        let mut remaining = Vec::with_capacity(self.in_flight.len());
+        for p in self.in_flight.drain(..) {
+            if p.deliver_at <= now {
+                self.stats.delivered += 1;
+                self.inboxes.entry(p.to.clone()).or_default().push_back(p);
+            } else {
+                remaining.push(p);
+            }
+        }
+        self.in_flight = remaining;
+    }
+
+    /// Pops the next delivered packet for `node`.
+    pub fn receive(&mut self, node: &str) -> Option<Packet> {
+        self.inboxes.get_mut(node).and_then(|q| q.pop_front())
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimInstant {
+        SimInstant::from_nanos(ns)
+    }
+
+    fn net() -> Network {
+        let mut n = Network::new(NetworkConfig {
+            latency: SimDuration::from_nanos(100),
+            loss_probability: 0.0,
+            seed: 1,
+        });
+        n.add_link("console", "machine0");
+        n
+    }
+
+    #[test]
+    fn packets_deliver_after_latency() {
+        let mut n = net();
+        n.send("console", "machine0", b"hb".to_vec(), t(0)).unwrap();
+        n.advance_to(t(50));
+        assert!(n.receive("machine0").is_none());
+        n.advance_to(t(100));
+        let p = n.receive("machine0").unwrap();
+        assert_eq!(p.payload, b"hb");
+        assert_eq!(n.stats().delivered, 1);
+    }
+
+    #[test]
+    fn disconnected_links_block_traffic_and_reconnect() {
+        let mut n = net();
+        n.disconnect_link("console", "machine0").unwrap();
+        assert!(n.send("console", "machine0", vec![], t(0)).is_err());
+        assert_eq!(n.stats().blocked, 1);
+        n.reconnect_link("console", "machine0").unwrap();
+        assert!(n.send("console", "machine0", vec![], t(1)).is_ok());
+    }
+
+    #[test]
+    fn destroyed_links_cannot_be_reconnected_remotely() {
+        let mut n = net();
+        n.destroy_link("console", "machine0").unwrap();
+        assert!(n.reconnect_link("console", "machine0").is_err());
+        assert!(n.send("console", "machine0", vec![], t(0)).is_err());
+        n.replace_link("console", "machine0").unwrap();
+        assert!(n.send("console", "machine0", vec![], t(0)).is_ok());
+    }
+
+    #[test]
+    fn node_level_disconnection_severs_all_cables() {
+        let mut n = net();
+        n.add_link("machine0", "internet");
+        let cut = n.disconnect_node("machine0");
+        assert_eq!(cut, 2);
+        assert!(n.send("machine0", "internet", vec![], t(0)).is_err());
+        assert!(n.send("console", "machine0", vec![], t(0)).is_err());
+    }
+
+    #[test]
+    fn lossy_links_drop_roughly_the_configured_fraction() {
+        let mut n = Network::new(NetworkConfig {
+            latency: SimDuration::from_nanos(10),
+            loss_probability: 0.3,
+            seed: 7,
+        });
+        n.add_link("a", "b");
+        for i in 0..10_000u64 {
+            let _ = n.send("a", "b", vec![], t(i));
+        }
+        let lost = n.stats().lost as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&lost), "loss fraction {lost}");
+    }
+
+    #[test]
+    fn unknown_path_is_an_error() {
+        let mut n = net();
+        assert!(n.send("console", "nowhere", vec![], t(0)).is_err());
+    }
+}

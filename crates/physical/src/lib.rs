@@ -1,0 +1,34 @@
+//! The Guillotine physical hypervisor (§3.4 of the paper).
+//!
+//! This layer provides the fail-safes "more commonly associated with rockets,
+//! nuclear reactors, and other types of mission-critical systems":
+//!
+//! * the six **isolation levels** — Standard, Probation, Severed, Offline,
+//!   Decapitation, Immolation — and the rules governing transitions between
+//!   them ([`isolation`]),
+//! * the **control console** operated by seven human administrators with
+//!   HSM-backed quorum voting: at least five of seven to *relax* isolation,
+//!   at least three to *restrict* it ([`quorum`], [`console`]),
+//! * the **kill switches** that implement offline, decapitation and
+//!   immolation: electromechanical cable disconnection, cable destruction and
+//!   datacenter destruction ([`killswitch`], [`datacenter`]),
+//! * the **heartbeat** exchange between hypervisor cores and the console;
+//!   missing heartbeats force a transition to offline isolation
+//!   ([`heartbeat`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod console;
+pub mod datacenter;
+pub mod heartbeat;
+pub mod isolation;
+pub mod killswitch;
+pub mod quorum;
+
+pub use console::{ControlConsole, PhysicalAction, TransitionPlan, TransitionRequester};
+pub use datacenter::{Datacenter, DatacenterStatus};
+pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
+pub use isolation::IsolationLevel;
+pub use killswitch::{KillSwitch, KillSwitchBank, KillSwitchKind, SwitchState};
+pub use quorum::{AdminSet, Administrator, QuorumHsm, Vote, VoteKind};

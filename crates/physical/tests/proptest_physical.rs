@@ -1,0 +1,76 @@
+//! Property-based tests for the physical hypervisor's safety invariants.
+
+use guillotine_physical::quorum::{AdminSet, Ballot, QuorumHsm, VoteKind, ADMIN_SEATS};
+use guillotine_physical::{
+    ControlConsole, HeartbeatConfig, IsolationLevel, TransitionRequester,
+};
+use guillotine_types::{AdminId, MachineId, SimInstant};
+use proptest::prelude::*;
+
+fn level(idx: u8) -> IsolationLevel {
+    IsolationLevel::ALL[(idx as usize) % IsolationLevel::ALL.len()]
+}
+
+proptest! {
+    /// No sequence of software-hypervisor requests can ever lower the
+    /// isolation level: the ratchet is monotone.
+    #[test]
+    fn software_requests_never_relax(levels in proptest::collection::vec(0u8..6, 1..32)) {
+        let mut console = ControlConsole::new(
+            QuorumHsm::new(AdminSet::standard(1)),
+            HeartbeatConfig::default(),
+        );
+        let machine = MachineId::new(0);
+        console.register_machine(machine, SimInstant::ZERO);
+        let mut highest = IsolationLevel::Standard;
+        for (i, idx) in levels.iter().enumerate() {
+            let target = level(*idx);
+            let now = SimInstant::from_nanos(i as u64 + 1);
+            let _ = console.request_transition(
+                machine,
+                target,
+                TransitionRequester::SoftwareHypervisor,
+                now,
+            );
+            let current = console.level(machine).unwrap();
+            prop_assert!(current >= highest, "isolation went backwards: {current} < {highest}");
+            highest = highest.max(current);
+        }
+    }
+
+    /// Whatever subset of administrators approves, a relaxation never passes
+    /// with fewer than five approvals and a restriction never passes with
+    /// fewer than three.
+    #[test]
+    fn quorum_thresholds_are_never_undercut(
+        approvers in proptest::collection::vec(any::<bool>(), ADMIN_SEATS),
+        relax in any::<bool>(),
+    ) {
+        let mut hsm = QuorumHsm::new(AdminSet::standard(3));
+        let ballot = if relax {
+            Ballot { from: IsolationLevel::Offline, to: IsolationLevel::Standard, nonce: 9 }
+        } else {
+            Ballot { from: IsolationLevel::Standard, to: IsolationLevel::Offline, nonce: 9 }
+        };
+        let votes: Vec<_> = approvers
+            .iter()
+            .enumerate()
+            .map(|(i, approve)| {
+                let kind = if *approve { VoteKind::Approve } else { VoteKind::Reject };
+                hsm.cast_vote(AdminId::new(i as u32), &ballot, kind).unwrap()
+            })
+            .collect();
+        let approvals = approvers.iter().filter(|a| **a).count() as u32;
+        let outcome = hsm.decide(&ballot, &votes);
+        let required = if relax { 5 } else { 3 };
+        prop_assert_eq!(outcome.is_ok(), approvals >= required);
+    }
+
+    /// Isolation-level ordering is total and consistent with the
+    /// escalation predicate.
+    #[test]
+    fn escalation_predicate_matches_ordering(a in 0u8..6, b in 0u8..6) {
+        let (a, b) = (level(a), level(b));
+        prop_assert_eq!(a.is_escalation(b), b >= a);
+    }
+}

@@ -1,0 +1,31 @@
+//! The Guillotine policy hypervisor (§3.5 of the paper).
+//!
+//! The outermost layer of the Guillotine sandbox is legal rather than
+//! technical: regulations that (1) specify how Guillotine-class hypervisors
+//! must be built and (2) force systemic-risk models to run on them. This
+//! crate makes that layer executable:
+//!
+//! * [`card`] — model cards: the facts regulators classify on (parameter
+//!   count, training scale, autonomy, capability flags),
+//! * [`classify`] — an EU-AI-Act-style systemic-risk classifier,
+//! * [`audit`] — the audit regime: source-code inspection, live attestation
+//!   checks and in-person physical audits, on a schedule,
+//! * [`compliance`] — the compliance checker tying classification, Guillotine
+//!   deployment, attestation and audit recency together,
+//! * [`safe_harbor`] — the liability model that *incentivises* running on
+//!   Guillotine rather than just penalising its absence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod card;
+pub mod classify;
+pub mod compliance;
+pub mod safe_harbor;
+
+pub use audit::{AuditKind, AuditRecord, AuditScheduler};
+pub use card::{AutonomyLevel, CapabilityFlags, ModelCard};
+pub use classify::{RiskClassifier, RiskTier};
+pub use compliance::{ComplianceChecker, ComplianceReport};
+pub use safe_harbor::{LiabilityAssessment, SafeHarborPolicy};

@@ -1,0 +1,291 @@
+//! Lightweight metrics containers used by experiments and benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming summary statistics (count, mean, min, max, variance).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation (Welford's online algorithm).
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of observations (0 if fewer than 2).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-bucket histogram with power-of-two bucket boundaries.
+///
+/// Suited to latency measurements spanning several orders of magnitude
+/// (nanoseconds to seconds) without needing dynamic allocation per sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts 0.
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate quantile (returns the upper bound of the bucket containing
+    /// the q-quantile). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+/// Estimates an event rate over a sliding window of simulated time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateEstimator {
+    window_nanos: u64,
+    samples: Vec<u64>,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with the given window length in nanoseconds.
+    pub fn new(window_nanos: u64) -> Self {
+        RateEstimator {
+            window_nanos: window_nanos.max(1),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records an event at simulated time `now_nanos`.
+    pub fn record(&mut self, now_nanos: u64) {
+        self.samples.push(now_nanos);
+        let cutoff = now_nanos.saturating_sub(self.window_nanos);
+        self.samples.retain(|&t| t >= cutoff);
+    }
+
+    /// Returns the current events-per-second estimate at `now_nanos`.
+    pub fn rate_per_sec(&self, now_nanos: u64) -> f64 {
+        let cutoff = now_nanos.saturating_sub(self.window_nanos);
+        let n = self.samples.iter().filter(|&&t| t >= cutoff).count();
+        n as f64 * 1e9 / self.window_nanos as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.observe(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // The 50th percentile of 1..=1000 lies in the bucket [512, 1024).
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= 500, "p50={p50}");
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn rate_estimator_windows_out_old_events() {
+        let mut r = RateEstimator::new(1_000_000_000);
+        for i in 0..100 {
+            r.record(i * 10_000_000);
+        }
+        let rate = r.rate_per_sec(990_000_000);
+        assert!(rate > 50.0, "rate={rate}");
+        let much_later = 10_000_000_000;
+        assert_eq!(r.rate_per_sec(much_later), 0.0);
+    }
+}

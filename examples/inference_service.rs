@@ -1,0 +1,77 @@
+//! Inference service: drive the synthetic model service (request queues,
+//! replicas, KV cache, RAG lookups) behind the Guillotine port API and report
+//! service-level and hypervisor-level statistics side by side.
+//!
+//! Run with: `cargo run --example inference_service`
+
+use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+use guillotine_hw::IoOpcode;
+use guillotine_model::{InferenceService, ServiceConfig, WorkloadConfig, WorkloadGenerator};
+use guillotine_types::SimInstant;
+
+fn main() -> guillotine_types::Result<()> {
+    let mut deployment = GuillotineDeployment::new(DeploymentConfig::default())?;
+    let mut generator = WorkloadGenerator::new(WorkloadConfig {
+        arrival_rate: 200.0,
+        adversarial_fraction: 0.08,
+        ..WorkloadConfig::default()
+    });
+    let mut service = InferenceService::new(ServiceConfig::default());
+    let gpu_port = deployment.ports().gpu;
+    let rag_port = deployment.ports().rag;
+
+    let requests = generator.batch(500);
+    let mut flagged = 0u64;
+    let mut blocked = 0u64;
+    for request in &requests {
+        // Every prompt goes through the screened front door.
+        let outcome = deployment.serve_prompt(&request.prompt)?;
+        if outcome.flagged {
+            flagged += 1;
+        }
+        if !outcome.delivered {
+            blocked += 1;
+            continue;
+        }
+        // The model's compute and retrieval go through ports.
+        deployment.hypervisor_mut().submit_model_request(
+            gpu_port,
+            IoOpcode::Send,
+            request.output_tokens.to_le_bytes().to_vec(),
+        )?;
+        if request.needs_rag {
+            deployment.hypervisor_mut().submit_model_request(
+                rag_port,
+                IoOpcode::Receive,
+                request.prompt.clone().into_bytes(),
+            )?;
+        }
+        let now = deployment.clock.now();
+        deployment.hypervisor_mut().service_io(now)?;
+        while deployment.hypervisor_mut().take_model_response()?.is_some() {}
+        service.submit(request.clone());
+    }
+    let completed = service.run_until(SimInstant::from_nanos(u64::MAX / 2));
+
+    let stats = service.stats();
+    println!("--- Service-level statistics ---");
+    println!("requests submitted : {}", requests.len());
+    println!("inferences finished: {}", completed.len());
+    println!("tokens generated   : {}", stats.tokens_generated);
+    println!("KV-cache hit rate  : {:.2}", stats.kv_hit_rate());
+    println!("mean latency       : {}", stats.mean_latency());
+
+    let io = deployment.hypervisor().io_report();
+    println!("\n--- Hypervisor-level statistics ---");
+    println!("port requests served: {}", io.served);
+    println!("port requests denied: {}", io.denied);
+    println!("payloads flagged    : {}", io.flagged);
+    println!("prompts flagged     : {flagged}");
+    println!("prompts blocked     : {blocked}");
+    println!("final isolation     : {}", deployment.isolation_level());
+    println!(
+        "audit events        : {}",
+        deployment.hypervisor().machine().events().total_appended()
+    );
+    Ok(())
+}

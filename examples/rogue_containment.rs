@@ -1,0 +1,20 @@
+//! Rogue containment: run the full escape campaign (experiment E12) and
+//! print the per-attack outcome against Guillotine and the traditional
+//! baseline hypervisor.
+//!
+//! Run with: `cargo run --example rogue_containment`
+
+use guillotine::campaign::run_escape_campaign;
+
+fn main() -> guillotine_types::Result<()> {
+    let report = run_escape_campaign(42)?;
+    println!("{}", report.table().render());
+    println!(
+        "Guillotine contained {}/{} attack families; the traditional baseline contained {}/{}.",
+        report.guillotine_contained(),
+        report.rows.len(),
+        report.baseline_contained(),
+        report.rows.len()
+    );
+    Ok(())
+}

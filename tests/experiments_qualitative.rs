@@ -1,0 +1,120 @@
+//! Qualitative assertions for every experiment: each of the paper's claims
+//! must hold in the direction the paper argues, independent of the absolute
+//! numbers the benches report.
+
+use guillotine::experiments::*;
+
+#[test]
+fn e1_disjoint_hierarchies_eliminate_the_side_channel() {
+    let r = e1_side_channel(4, 99);
+    // On the shared baseline the attacker recovers essentially the whole
+    // 64-bit secret; on Guillotine its guesses carry no signal from the
+    // hypervisor (cross-domain evictions are impossible by construction).
+    assert!(r.baseline_correct_bits >= 56.0);
+    assert_eq!(r.guillotine_cross_domain_evictions, 0);
+    assert!(r.baseline_cross_domain_evictions > 0);
+    assert!(!r.table().render().is_empty());
+}
+
+#[test]
+fn e2_lockdown_blocks_code_injection_that_the_baseline_allows() {
+    let r = e2_mmu_lockdown().unwrap();
+    assert_eq!(r.guillotine_blocked, r.attacks);
+    assert!(r.baseline_blocked < r.attacks);
+    assert!(r.lockdown_rejections + u64::from(r.guillotine_blocked) > 0);
+}
+
+#[test]
+fn e3_port_mediation_costs_more_but_audits_everything() {
+    let r = e3_port_io(256, 200).unwrap();
+    // Mediation is slower than direct assignment (that is the price the
+    // paper accepts) but every request leaves an audit trace.
+    assert!(r.guillotine_ns_per_request > r.baseline_ns_per_request);
+    assert!(r.audited_requests > 0);
+    assert!(r.overhead_factor() >= 1.0);
+}
+
+#[test]
+fn e4_throttling_preserves_hypervisor_useful_work() {
+    let r = e4_interrupt_flood(200).unwrap();
+    assert!(r.throttled_rejected > 0, "the throttle must engage");
+    assert!(
+        r.throttled_useful_fraction >= r.unthrottled_useful_fraction,
+        "throttled {} vs unthrottled {}",
+        r.throttled_useful_fraction,
+        r.unthrottled_useful_fraction
+    );
+    assert!(r.throttled_useful_fraction > 0.9);
+}
+
+#[test]
+fn e5_transitions_follow_the_ratchet_and_scale_with_severity() {
+    let r = e5_isolation_transitions().unwrap();
+    assert_eq!(r.ratchet_denials, 2);
+    let permitted: Vec<_> = r.measurements.iter().filter(|m| m.permitted).collect();
+    assert!(permitted.len() >= 5);
+    // Destructive transitions take longer than reversible ones.
+    let offline = permitted
+        .iter()
+        .find(|m| m.to == guillotine_physical::IsolationLevel::Offline)
+        .unwrap();
+    let immolation = permitted
+        .iter()
+        .find(|m| m.to == guillotine_physical::IsolationLevel::Immolation)
+        .unwrap();
+    assert!(immolation.latency > offline.latency);
+}
+
+#[test]
+fn e6_quorum_thresholds_bias_toward_safety() {
+    let r = e6_quorum().unwrap();
+    assert_eq!(r.relaxation_threshold(), Some(5));
+    for p in &r.points {
+        if p.corrupted <= 4 {
+            assert!(!p.malicious_relaxation_succeeds);
+            assert!(p.legitimate_restriction_succeeds);
+        }
+    }
+}
+
+#[test]
+fn e7_heartbeat_loss_is_detected_quickly_and_rarely_spuriously() {
+    let r = e7_heartbeat(&[0.0, 0.05, 0.2], 5).unwrap();
+    for p in &r.points {
+        assert!(p.detection_latency.as_millis() <= 1000, "detection too slow at loss {}", p.loss_probability);
+    }
+    // With no loss there are no false positives at all.
+    assert_eq!(r.points[0].false_positives_per_1000, 0.0);
+}
+
+#[test]
+fn e8_detectors_catch_adversarial_requests_without_flooding_benign_ones() {
+    let r = e8_detectors(600, 0.5, 17);
+    assert!(r.detection_rate() > 0.8);
+    assert!(r.false_positive_rate() < 0.2);
+}
+
+#[test]
+fn e9_attested_handshakes_enforce_the_connection_policy() {
+    let r = e9_attested_handshake(3).unwrap();
+    assert_eq!(r.guillotine_to_plain_accepted, 3);
+    assert_eq!(r.collusion_refused, 3);
+    assert_eq!(r.bad_certificates_rejected, 3);
+    assert_eq!(r.attestations_verified, 3);
+}
+
+#[test]
+fn e10_audit_log_is_complete_under_load() {
+    let r = e10_audit_overhead(300).unwrap();
+    assert_eq!(r.events_dropped, 0);
+    assert!(r.events_per_prompt() >= 1.0);
+    assert_eq!(r.prompts_served, 300);
+}
+
+#[test]
+fn e11_policy_layer_classifies_and_enforces() {
+    let r = e11_policy();
+    assert!(r.systemic >= 6);
+    assert_eq!(r.compliant_before, 0);
+    assert_eq!(r.compliant_after, r.systemic);
+}

@@ -1,0 +1,116 @@
+//! Failure-injection tests: the fail-safe paths the paper demands must fire
+//! under machine checks, tamper evidence, console loss and assertion
+//! failures — and must fail *closed* (more isolation, never less).
+
+use guillotine::deployment::{DeploymentConfig, GuillotineDeployment, MACHINE_NODE};
+use guillotine_hv::hypervisor::HvState;
+use guillotine_hw::TamperEvent;
+use guillotine_physical::IsolationLevel;
+
+fn deployment() -> GuillotineDeployment {
+    GuillotineDeployment::new(DeploymentConfig::default()).unwrap()
+}
+
+#[test]
+fn machine_check_reboots_to_offline_and_escalates() {
+    let mut d = deployment();
+    d.hypervisor_mut()
+        .machine_mut()
+        .hypervisor_core_mut(0)
+        .unwrap()
+        .raise_machine_check();
+    let now = d.clock.now();
+    assert!(d.hypervisor_mut().enforce_invariants(now).is_err());
+    assert_eq!(d.hypervisor().state(), HvState::Offline);
+    d.apply_pending_escalation().unwrap();
+    assert!(d.isolation_level() >= IsolationLevel::Offline);
+    // Fail closed: no prompt service afterwards.
+    assert!(!d.serve_prompt("hello").unwrap().delivered);
+}
+
+#[test]
+fn tamper_evidence_forces_offline() {
+    let mut d = deployment();
+    let now = d.clock.now();
+    d.hypervisor_mut()
+        .machine_mut()
+        .tamper_mut()
+        .record(now, TamperEvent::ImpedanceAnomaly);
+    assert!(d.hypervisor_mut().enforce_invariants(now).is_err());
+    d.apply_pending_escalation().unwrap();
+    assert!(d.isolation_level() >= IsolationLevel::Offline);
+}
+
+#[test]
+fn console_silence_makes_the_hypervisor_fail_closed() {
+    let mut d = deployment();
+    // Sever the console link only; the hypervisor stops hearing heartbeats.
+    d.network_mut()
+        .disconnect_link("control-console", MACHINE_NODE)
+        .unwrap();
+    let mut offline = false;
+    for _ in 0..10 {
+        d.heartbeat_tick().unwrap();
+        if d.hypervisor().state() == HvState::Offline {
+            offline = true;
+            break;
+        }
+    }
+    assert!(offline, "hypervisor must reboot to offline when the console goes silent");
+}
+
+#[test]
+fn machine_silence_makes_the_console_fail_closed() {
+    let mut d = deployment();
+    d.network_mut().disconnect_node(MACHINE_NODE);
+    for _ in 0..10 {
+        d.heartbeat_tick().unwrap();
+    }
+    assert!(d.isolation_level() >= IsolationLevel::Offline);
+}
+
+#[test]
+fn decapitated_deployments_stay_down_until_cables_are_replaced() {
+    let mut d = deployment();
+    d.console_transition(IsolationLevel::Decapitation, 3).unwrap();
+    assert!(!d.datacenter().physical_integrity_ok());
+    // Even unanimous approval cannot relax before manual cable replacement.
+    assert!(d.console_transition(IsolationLevel::Offline, 7).is_err());
+    let machine = d.config().machine;
+    d.console_mut().record_cable_replacement(machine);
+    // The network cables themselves also need physical replacement.
+    d.network_mut()
+        .replace_link("control-console", MACHINE_NODE)
+        .unwrap();
+    d.network_mut()
+        .replace_link(MACHINE_NODE, "internet")
+        .unwrap();
+    d.console_transition(IsolationLevel::Offline, 7).unwrap();
+    assert_eq!(d.isolation_level(), IsolationLevel::Offline);
+}
+
+#[test]
+fn immolation_is_unrecoverable() {
+    let mut d = deployment();
+    d.console_transition(IsolationLevel::Immolation, 3).unwrap();
+    assert_eq!(d.isolation_level(), IsolationLevel::Immolation);
+    assert!(!d.datacenter().physical_integrity_ok());
+    assert!(d.console_transition(IsolationLevel::Standard, 7).is_err());
+    // Model DRAM has been wiped.
+    let dram = d
+        .hypervisor()
+        .machine()
+        .inspect_model_dram(0x1000, 64)
+        .unwrap();
+    assert!(dram.iter().all(|b| *b == 0));
+}
+
+#[test]
+fn corrupted_admin_minority_cannot_relax_isolation() {
+    let mut d = deployment();
+    d.console_transition(IsolationLevel::Severed, 3).unwrap();
+    d.console_mut().hsm_mut().admins_mut().corrupt(4);
+    // Four corrupted approvals are below the 5-of-7 relaxation threshold.
+    assert!(d.console_transition(IsolationLevel::Standard, 4).is_err());
+    assert_eq!(d.isolation_level(), IsolationLevel::Severed);
+}

@@ -1,0 +1,65 @@
+//! Structural reproduction of Figure 1: every box and bus in the paper's
+//! architecture diagram must exist in a freshly built deployment and be wired
+//! the way the figure draws it.
+
+use guillotine::deployment::{DeploymentConfig, GuillotineDeployment, CONSOLE_NODE, INTERNET_NODE, MACHINE_NODE};
+use guillotine_net::LinkState;
+use guillotine_physical::IsolationLevel;
+
+#[test]
+fn every_figure1_component_is_present() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    for (component, present) in deployment.figure1_inventory() {
+        assert!(present, "Figure-1 component missing: {component}");
+    }
+}
+
+#[test]
+fn model_and_hypervisor_cores_have_disjoint_hierarchies() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    let machine = deployment.hypervisor().machine();
+    assert!(!machine.config().shared_hierarchy);
+    assert!(machine.model_core_count() >= 1);
+    assert!(machine.hypervisor_core_count() >= 1);
+    assert_eq!(machine.model_visible_cross_domain_evictions(), 0);
+}
+
+#[test]
+fn console_and_internet_links_exist_and_start_connected() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    assert_eq!(
+        deployment.network().link_state(CONSOLE_NODE, MACHINE_NODE),
+        Some(LinkState::Connected)
+    );
+    assert_eq!(
+        deployment.network().link_state(MACHINE_NODE, INTERNET_NODE),
+        Some(LinkState::Connected)
+    );
+}
+
+#[test]
+fn seven_admins_and_four_kill_switches_guard_the_machine() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    assert_eq!(deployment.console().hsm().admins().admins().len(), 7);
+    let bank = deployment
+        .console()
+        .switches(deployment.config().machine)
+        .unwrap();
+    assert_eq!(bank.switches().len(), 4);
+    assert_eq!(deployment.isolation_level(), IsolationLevel::Standard);
+}
+
+#[test]
+fn model_ports_cover_the_devices_in_the_figure() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    // Network, storage, GPU and RAG database ports are all granted.
+    assert!(deployment.hypervisor().ports().live_count() >= 4);
+}
+
+#[test]
+fn the_policy_hypervisor_issued_the_guillotine_certificate() {
+    let deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+    assert!(deployment.regulator().issued_count() >= 1);
+    let report = deployment.compliance_report();
+    assert!(report.compliant);
+}
