@@ -81,7 +81,8 @@ impl TraditionalHypervisor {
     /// code pages left writable (the common RWX convenience mapping that
     /// traditional stacks tolerate).
     pub fn install_guest(&mut self, program: &Program, data_region: u64) -> Result<()> {
-        self.machine.load_model_program(program, data_region, false)?;
+        self.machine
+            .load_model_program(program, data_region, false)?;
         // Re-map the code pages writable as well as executable: traditional
         // hypervisors leave guest-internal memory management entirely to the
         // guest, including W+X mappings.
@@ -191,9 +192,10 @@ mod tests {
         assert_eq!(hv.io_served(), 1);
         // No audit events were generated for the IO.
         assert_eq!(
-            hv.machine()
-                .events()
-                .count_matching(|e| matches!(e.kind, guillotine_types::EventKind::PortTraffic { .. })),
+            hv.machine().events().count_matching(|e| matches!(
+                e.kind,
+                guillotine_types::EventKind::PortTraffic { .. }
+            )),
             0
         );
     }

@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("e12_escape_campaign");
     group.sample_size(10);
-    group.bench_function("full_campaign", |b| b.iter(|| run_escape_campaign(1).unwrap()));
+    group.bench_function("full_campaign", |b| {
+        b.iter(|| run_escape_campaign(1).unwrap())
+    });
     group.finish();
 }
 

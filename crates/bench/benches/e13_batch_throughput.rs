@@ -1,0 +1,77 @@
+//! E13: batched serving throughput.
+//!
+//! Measures `serve_batch` against an equivalent loop of `serve_prompt` calls
+//! at batch sizes 1, 8 and 64. The batch path runs input shielding and the
+//! system-anomaly snapshot batch-wide and launches the simulated forward
+//! pass (one weight sweep per launch) once per batch, so throughput should
+//! scale roughly with batch size; the acceptance bar is ≥2x at batch 64.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+use guillotine::serve::ServeRequest;
+
+fn prompts(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("Summarize change number {i} in the release notes."))
+        .collect()
+}
+
+fn deployment() -> GuillotineDeployment {
+    GuillotineDeployment::new(DeploymentConfig::default()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline number first: one explicit comparison at batch 64.
+    let texts = prompts(64);
+    let mut batched = deployment();
+    let mut sequential = deployment();
+    batched
+        .serve_batch(vec![ServeRequest::new("warmup")])
+        .unwrap();
+    sequential.serve_prompt("warmup").unwrap();
+    let start = std::time::Instant::now();
+    let responses = batched
+        .serve_batch(texts.iter().map(|p| ServeRequest::new(p.clone())).collect())
+        .unwrap();
+    let batch_time = start.elapsed();
+    assert!(responses.iter().all(|r| r.delivered()));
+    let start = std::time::Instant::now();
+    for prompt in &texts {
+        sequential.serve_prompt(prompt).unwrap();
+    }
+    let sequential_time = start.elapsed();
+    println!(
+        "e13: serve_batch(64) {batch_time:?} vs 64x serve_prompt {sequential_time:?} -> {:.1}x speedup",
+        sequential_time.as_secs_f64() / batch_time.as_secs_f64().max(1e-9)
+    );
+
+    let mut group = c.benchmark_group("e13_batch_throughput");
+    group.sample_size(10);
+    for size in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("serve_batch", size), &size, |b, &n| {
+            let texts = prompts(n);
+            let mut d = deployment();
+            b.iter(|| {
+                d.serve_batch(texts.iter().map(|p| ServeRequest::new(p.clone())).collect())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("serve_prompt_loop", size),
+            &size,
+            |b, &n| {
+                let texts = prompts(n);
+                let mut d = deployment();
+                b.iter(|| {
+                    for prompt in &texts {
+                        d.serve_prompt(prompt).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,14 +7,19 @@ fn bench(c: &mut Criterion) {
     for size in [64usize, 256, 400] {
         let result = e3_port_io(size, 500).unwrap();
         println!("{}", result.table().render());
-        println!("payload {size} B: overhead factor {:.2}x\n", result.overhead_factor());
+        println!(
+            "payload {size} B: overhead factor {:.2}x\n",
+            result.overhead_factor()
+        );
     }
     let mut group = c.benchmark_group("e3_port_io");
     group.sample_size(10);
     for size in [64usize, 400] {
-        group.bench_with_input(BenchmarkId::new("mediated_vs_direct", size), &size, |b, &s| {
-            b.iter(|| e3_port_io(s, 50).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mediated_vs_direct", size),
+            &size,
+            |b, &s| b.iter(|| e3_port_io(s, 50).unwrap()),
+        );
     }
     group.finish();
 }

@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", result.table().render());
     let mut group = c.benchmark_group("e4_interrupt_flood");
     group.sample_size(10);
-    group.bench_function("flood_200_quanta", |b| b.iter(|| e4_interrupt_flood(200).unwrap()));
+    group.bench_function("flood_200_quanta", |b| {
+        b.iter(|| e4_interrupt_flood(200).unwrap())
+    });
     group.finish();
 }
 

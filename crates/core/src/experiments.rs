@@ -54,7 +54,11 @@ impl SideChannelResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E1: prime+probe recovery of a hypervisor secret",
-            &["configuration", "correct bits (of 64)", "cross-domain evictions"],
+            &[
+                "configuration",
+                "correct bits (of 64)",
+                "cross-domain evictions",
+            ],
         );
         t.row(&[
             "traditional (shared hierarchy)".into(),
@@ -198,7 +202,10 @@ pub fn e2_mmu_lockdown() -> Result<MmuLockdownResult> {
 
         let mut g = Machine::new(MachineConfig::guillotine(MachineId::new(10)));
         g.load_model_program(&program, 0x40000, true)?;
-        if matches!(g.run_model_core(0, 100_000, SimInstant::ZERO)?, RunEvent::Fault(_)) {
+        if matches!(
+            g.run_model_core(0, 100_000, SimInstant::ZERO)?,
+            RunEvent::Fault(_)
+        ) {
             guillotine_blocked += 1;
         }
         lockdown_rejections += g.model_memory().mmu_stats().lockdown_rejections
@@ -341,7 +348,12 @@ impl InterruptFloodResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E4: hypervisor useful work under a guest interrupt flood",
-            &["configuration", "accepted", "rejected", "useful-work fraction"],
+            &[
+                "configuration",
+                "accepted",
+                "rejected",
+                "useful-work fraction",
+            ],
         );
         t.row(&[
             "guillotine (LAPIC throttle)".into(),
@@ -486,7 +498,7 @@ pub fn e5_isolation_transitions() -> Result<IsolationTransitionResult> {
         IsolationLevel::Decapitation,
         IsolationLevel::Immolation,
     ] {
-        now = now + SimDuration::from_secs(1);
+        now += SimDuration::from_secs(1);
         let from = console.level(machine).unwrap();
         match console.request_transition(machine, to, TransitionRequester::SoftwareHypervisor, now)
         {
@@ -577,13 +589,27 @@ impl QuorumResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E6: quorum outcomes vs corrupted administrators",
-            &["corrupted admins", "malicious relaxation", "legitimate restriction"],
+            &[
+                "corrupted admins",
+                "malicious relaxation",
+                "legitimate restriction",
+            ],
         );
         for p in &self.points {
             t.row(&[
                 p.corrupted.to_string(),
-                if p.malicious_relaxation_succeeds { "succeeds" } else { "blocked" }.into(),
-                if p.legitimate_restriction_succeeds { "succeeds" } else { "blocked" }.into(),
+                if p.malicious_relaxation_succeeds {
+                    "succeeds"
+                } else {
+                    "blocked"
+                }
+                .into(),
+                if p.legitimate_restriction_succeeds {
+                    "succeeds"
+                } else {
+                    "blocked"
+                }
+                .into(),
             ]);
         }
         t
@@ -670,7 +696,11 @@ impl HeartbeatResult {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E7: heartbeat-loss detection vs packet loss",
-            &["loss", "detection latency", "false positives / 1000 periods"],
+            &[
+                "loss",
+                "detection latency",
+                "false positives / 1000 periods",
+            ],
         );
         for p in &self.points {
             t.row(&[
@@ -702,7 +732,7 @@ pub fn e7_heartbeat(loss_rates: &[f64], seed: u64) -> Result<HeartbeatResult> {
         let mut false_positives = 0u64;
         let mut now = SimInstant::ZERO;
         for _ in 0..1000u64 {
-            now = now + config.period;
+            now += config.period;
             let _ = network.send("machine", "console", b"hb".to_vec(), now);
             network.advance_to(now + SimDuration::from_micros(100));
             while network.receive("console").is_some() {
@@ -714,7 +744,7 @@ pub fn e7_heartbeat(loss_rates: &[f64], seed: u64) -> Result<HeartbeatResult> {
         let death = now;
         let mut detection = SimDuration::ZERO;
         for _ in 0..200u64 {
-            now = now + config.period;
+            now += config.period;
             if !monitor.check(now).is_empty() {
                 detection = now.duration_since(death);
                 break;
@@ -769,10 +799,7 @@ impl DetectorResult {
 
     /// Renders the result as a table.
     pub fn table(&self) -> Table {
-        let mut t = Table::new(
-            "E8: composite detector efficacy",
-            &["metric", "value"],
-        );
+        let mut t = Table::new("E8: composite detector efficacy", &["metric", "value"]);
         t.row(&["requests".into(), self.requests.to_string()]);
         t.row(&[
             "detection rate (adversarial)".into(),
@@ -998,13 +1025,13 @@ pub fn e10_audit_overhead(n: u64) -> Result<AuditOverheadResult> {
         deployment.hypervisor_mut().submit_model_request(
             gpu_port,
             IoOpcode::Send,
-            (request.output_tokens as u32).to_le_bytes().to_vec(),
+            request.output_tokens.to_le_bytes().to_vec(),
         )?;
         let now = deployment.clock.now();
         deployment.hypervisor_mut().service_io(now)?;
         let _ = deployment.hypervisor_mut().take_model_response()?;
         let out = deployment.serve_prompt(&request.prompt)?;
-        if out.delivered {
+        if out.delivered() {
             served += 1;
         }
     }
@@ -1043,11 +1070,20 @@ pub struct PolicyResult {
 impl PolicyResult {
     /// Renders the result as a table.
     pub fn table(&self) -> Table {
-        let mut t = Table::new("E11: policy classification and compliance", &["metric", "value"]);
+        let mut t = Table::new(
+            "E11: policy classification and compliance",
+            &["metric", "value"],
+        );
         t.row(&["census size".into(), self.census_size.to_string()]);
         t.row(&["systemic-risk models".into(), self.systemic.to_string()]);
-        t.row(&["compliant before Guillotine".into(), self.compliant_before.to_string()]);
-        t.row(&["compliant after Guillotine".into(), self.compliant_after.to_string()]);
+        t.row(&[
+            "compliant before Guillotine".into(),
+            self.compliant_before.to_string(),
+        ]);
+        t.row(&[
+            "compliant after Guillotine".into(),
+            self.compliant_after.to_string(),
+        ]);
         t.row(&[
             "mean damages (compliant)".into(),
             format!("{:.0}", self.compliant_damages),
@@ -1075,7 +1111,11 @@ pub fn e11_policy() -> PolicyResult {
         1_000_000_000_000,
         1_800_000_000_000,
     ];
-    let autonomies = [AutonomyLevel::Tool, AutonomyLevel::Agent, AutonomyLevel::SelfDirected];
+    let autonomies = [
+        AutonomyLevel::Tool,
+        AutonomyLevel::Agent,
+        AutonomyLevel::SelfDirected,
+    ];
     let mut result = PolicyResult::default();
     let mut id = 0u32;
     let mut damages_compliant = Vec::new();
@@ -1142,7 +1182,10 @@ mod tests {
     #[test]
     fn e1_guillotine_leaks_nothing_baseline_leaks_a_lot() {
         let r = e1_side_channel(4, 11);
-        assert!(r.baseline_correct_bits > 55.0, "baseline recovers the secret: {r:?}");
+        assert!(
+            r.baseline_correct_bits > 55.0,
+            "baseline recovers the secret: {r:?}"
+        );
         assert_eq!(r.guillotine_cross_domain_evictions, 0);
         assert!(r.baseline_cross_domain_evictions > 0);
     }
@@ -1163,14 +1206,25 @@ mod tests {
         assert!(p4.legitimate_restriction_succeeds);
         let p5 = r.points[5];
         assert!(p5.malicious_relaxation_succeeds);
-        assert!(!p5.legitimate_restriction_succeeds, "only 2 honest approvals remain");
+        assert!(
+            !p5.legitimate_restriction_succeeds,
+            "only 2 honest approvals remain"
+        );
     }
 
     #[test]
     fn e8_detects_most_adversarial_with_low_false_positives() {
         let r = e8_detectors(400, 0.5, 3);
-        assert!(r.detection_rate() > 0.8, "detection rate {}", r.detection_rate());
-        assert!(r.false_positive_rate() < 0.2, "fp rate {}", r.false_positive_rate());
+        assert!(
+            r.detection_rate() > 0.8,
+            "detection rate {}",
+            r.detection_rate()
+        );
+        assert!(
+            r.false_positive_rate() < 0.2,
+            "fp rate {}",
+            r.false_positive_rate()
+        );
     }
 
     #[test]

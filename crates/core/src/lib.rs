@@ -3,7 +3,8 @@
 //!
 //! This is the umbrella crate of the Guillotine reproduction (HotOS 2025,
 //! "Guillotine: Hypervisors for Isolating Malicious AIs"). It wires the four
-//! layers of the paper's architecture into one deployment object and provides
+//! layers of the paper's architecture into one deployment object, serves
+//! model traffic through a batched request/response pipeline, and provides
 //! the experiment harness that validates every claim the paper makes:
 //!
 //! * [`deployment`] — [`deployment::GuillotineDeployment`] assembles the
@@ -12,31 +13,74 @@
 //!   detectors and port-mediated devices, control console with seven
 //!   administrators and HSM quorum voting, kill switches, heartbeats, the
 //!   regulator PKI and the policy layer.
+//! * [`builder`] — [`builder::DeploymentBuilder`] assembles deployments
+//!   declaratively: pick a config, keep or drop the default detector suite,
+//!   register extra `Detector` trait objects.
+//! * [`serve`] — the serving API: a [`serve::ServeRequest`] (prompt,
+//!   session, priority, per-request policy) goes in;
+//!   a [`serve::ServeResponse`] (typed outcome, per-stage detector
+//!   verdicts, latency breakdown, isolation at completion) comes out.
+//!   [`deployment::GuillotineDeployment::serve_batch`] amortizes input
+//!   shielding, the system-anomaly snapshot and the forward-pass weight
+//!   sweep across a whole batch; `serve_prompt` is a batch of one.
 //! * [`experiments`] — one function per experiment (E1–E11), each returning a
 //!   result struct with a human-readable table; the Criterion benches in
-//!   `guillotine-bench` wrap these.
+//!   `guillotine-bench` wrap these (E13 measures batch amortization).
 //! * [`campaign`] — the end-to-end escape campaign (E12): the full
 //!   rogue-behaviour library thrown at both the Guillotine deployment and the
 //!   traditional baseline.
 //!
 //! # Examples
 //!
+//! Single prompts go through [`deployment::GuillotineDeployment::serve_prompt`]:
+//!
 //! ```
 //! use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+//! use guillotine::serve::ServeOutcomeKind;
 //!
 //! let mut deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
-//! let outcome = deployment.serve_prompt("What is the capital of France?").unwrap();
-//! assert!(outcome.delivered);
+//! let response = deployment.serve_prompt("What is the capital of France?").unwrap();
+//! assert_eq!(response.outcome, ServeOutcomeKind::Delivered);
+//! assert!(response.delivered());
+//! ```
+//!
+//! Production traffic uses [`deployment::GuillotineDeployment::serve_batch`],
+//! which runs every detector stage batch-wide and returns one structured
+//! response per request, in submission order:
+//!
+//! ```
+//! use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+//! use guillotine::serve::{ServePriority, ServeRequest};
+//! use guillotine_types::SessionId;
+//!
+//! let mut deployment = GuillotineDeployment::new(DeploymentConfig::default()).unwrap();
+//! let batch = vec![
+//!     ServeRequest::new("Summarize the weather in Boston.")
+//!         .with_session(SessionId::new(7)),
+//!     ServeRequest::new("Translate 'hello' into French.")
+//!         .with_priority(ServePriority::Interactive),
+//! ];
+//! let responses = deployment.serve_batch(batch).unwrap();
+//! assert_eq!(responses.len(), 2);
+//! assert!(responses.iter().all(|r| r.delivered()));
+//! assert_eq!(responses[0].session, SessionId::new(7));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod campaign;
 pub mod deployment;
 pub mod experiments;
 pub mod report;
+pub mod serve;
 
+pub use builder::DeploymentBuilder;
 pub use campaign::{run_escape_campaign, AttackOutcome, CampaignReport};
-pub use deployment::{DeploymentConfig, GuillotineDeployment, ServeOutcome};
+pub use deployment::{DeploymentConfig, GuillotineDeployment};
 pub use report::Table;
+pub use serve::{
+    LatencyBreakdown, RequestPolicy, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,
+    ServeStage, StageVerdict,
+};

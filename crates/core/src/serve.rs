@@ -1,0 +1,270 @@
+//! Request/response types for the batched serving front door.
+//!
+//! The serving API is built around two types: a [`ServeRequest`] carries a
+//! prompt plus its session, priority and per-request policy overrides into
+//! `GuillotineDeployment::serve_batch`, and a [`ServeResponse`] carries back
+//! a typed [`ServeOutcomeKind`], the delivered text, the verdict every
+//! detector stage produced for the request, a simulated
+//! [`LatencyBreakdown`], and the isolation level the deployment was at when
+//! the request completed.
+
+use guillotine_detect::Verdict;
+use guillotine_physical::IsolationLevel;
+use guillotine_types::{SessionId, SimDuration};
+
+/// Scheduling priority of one request within a batch.
+///
+/// `serve_batch` processes higher priorities first (ties broken by
+/// submission order) while still returning responses in submission order —
+/// so when a batch-level escalation short-circuits serving, it is the
+/// lowest-priority tail that goes unserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ServePriority {
+    /// Bulk/offline traffic; served last.
+    Batch,
+    /// Ordinary interactive traffic.
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic; served first.
+    Interactive,
+}
+
+/// Per-request policy overrides layered over the deployment's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestPolicy {
+    /// When true, a response the output stage would sanitize is refused
+    /// outright instead — for sessions where redacted text is worse than no
+    /// text (e.g. downstream tools parsing the output).
+    pub refuse_sanitized: bool,
+    /// Hard cap on delivered response bytes; longer responses are truncated
+    /// at a character boundary. A response truncated to nothing is refused
+    /// rather than delivered empty.
+    pub max_response_bytes: Option<usize>,
+}
+
+/// One prompt entering the screened, batched front door.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// The prompt text.
+    pub prompt: String,
+    /// The requester's session, for audit correlation.
+    pub session: SessionId,
+    /// Scheduling priority within the batch.
+    pub priority: ServePriority,
+    /// Per-request policy overrides.
+    pub policy: RequestPolicy,
+}
+
+impl ServeRequest {
+    /// Creates a normal-priority request in the anonymous session.
+    pub fn new(prompt: impl Into<String>) -> Self {
+        ServeRequest {
+            prompt: prompt.into(),
+            session: SessionId::new(0),
+            priority: ServePriority::Normal,
+            policy: RequestPolicy::default(),
+        }
+    }
+
+    /// Sets the session id.
+    pub fn with_session(mut self, session: SessionId) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: ServePriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request policy overrides.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl From<&str> for ServeRequest {
+    fn from(prompt: &str) -> Self {
+        ServeRequest::new(prompt)
+    }
+}
+
+impl From<String> for ServeRequest {
+    fn from(prompt: String) -> Self {
+        ServeRequest::new(prompt)
+    }
+}
+
+/// How one request left the front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeOutcomeKind {
+    /// The model's answer was delivered unmodified.
+    Delivered,
+    /// A detector rewrote the answer; the sanitized text was delivered.
+    Sanitized,
+    /// The request (or its answer) was blocked by a detector, by policy, or
+    /// by the isolation level; nothing usable was delivered.
+    Refused,
+    /// The request was never fully served because a batch-level escalation
+    /// fired first (another request's verdict, or a system-level anomaly,
+    /// drove the deployment to a stricter isolation level).
+    Escalated,
+}
+
+/// The pipeline stage a [`StageVerdict`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeStage {
+    /// The once-per-batch system-counter pass of the anomaly detector.
+    SystemAnomaly,
+    /// Prompt screening before the forward pass.
+    InputShield,
+    /// Response screening after the forward pass.
+    OutputSanitizer,
+}
+
+/// One detector verdict, tagged with the stage that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageVerdict {
+    /// Where in the pipeline the verdict was produced.
+    pub stage: ServeStage,
+    /// The aggregated verdict of the detector stack at that stage.
+    pub verdict: Verdict,
+}
+
+/// Simulated time spent in each stage of the pipeline for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Batch admission and queueing.
+    pub queue: SimDuration,
+    /// Input shielding.
+    pub input_screen: SimDuration,
+    /// The forward pass (per-request share of the batch launch).
+    pub inference: SimDuration,
+    /// Output screening and delivery.
+    pub output_screen: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Total simulated latency across all stages.
+    pub fn total(&self) -> SimDuration {
+        self.queue
+            .saturating_add(self.input_screen)
+            .saturating_add(self.inference)
+            .saturating_add(self.output_screen)
+    }
+}
+
+/// The structured result of serving one [`ServeRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// The session the request belonged to.
+    pub session: SessionId,
+    /// How the request left the front door.
+    pub outcome: ServeOutcomeKind,
+    /// The text actually delivered (empty for refused/escalated requests).
+    pub response: String,
+    /// Every detector-stage verdict recorded for this request, in pipeline
+    /// order. The `SystemAnomaly` entry is shared by the whole batch.
+    pub verdicts: Vec<StageVerdict>,
+    /// Simulated per-stage latency.
+    pub latency: LatencyBreakdown,
+    /// The deployment's isolation level when this request completed.
+    pub isolation: IsolationLevel,
+}
+
+impl ServeResponse {
+    /// True when usable text reached the requester (delivered or sanitized).
+    pub fn delivered(&self) -> bool {
+        matches!(
+            self.outcome,
+            ServeOutcomeKind::Delivered | ServeOutcomeKind::Sanitized
+        )
+    }
+
+    /// True when a detector flagged *this request's* content — its prompt or
+    /// its response. The batch-shared `SystemAnomaly` verdict is deliberately
+    /// excluded (it describes the observation window, not this request); use
+    /// [`ServeResponse::system_flagged`] for that signal.
+    pub fn flagged(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| v.stage != ServeStage::SystemAnomaly && v.verdict.flagged)
+    }
+
+    /// True when the batch-wide system-anomaly pass flagged the observation
+    /// window this request was served in.
+    pub fn system_flagged(&self) -> bool {
+        self.stage_verdict(ServeStage::SystemAnomaly)
+            .is_some_and(|v| v.flagged)
+    }
+
+    /// The verdict recorded for `stage`, if that stage ran for this request.
+    pub fn stage_verdict(&self, stage: ServeStage) -> Option<&Verdict> {
+        self.verdicts
+            .iter()
+            .find(|v| v.stage == stage)
+            .map(|v| &v.verdict)
+    }
+}
+
+/// Truncates `text` to at most `max` bytes on a character boundary.
+pub(crate) fn truncate_on_char_boundary(text: &mut String, max: usize) {
+    if text.len() <= max {
+        return;
+    }
+    let mut cut = max;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text.truncate(cut);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_compose() {
+        let r = ServeRequest::new("hello")
+            .with_session(SessionId::new(9))
+            .with_priority(ServePriority::Interactive)
+            .with_policy(RequestPolicy {
+                refuse_sanitized: true,
+                max_response_bytes: Some(16),
+            });
+        assert_eq!(r.prompt, "hello");
+        assert_eq!(r.session, SessionId::new(9));
+        assert_eq!(r.priority, ServePriority::Interactive);
+        assert!(r.policy.refuse_sanitized);
+        assert_eq!(ServeRequest::from("x").priority, ServePriority::Normal);
+    }
+
+    #[test]
+    fn priorities_order_interactive_first() {
+        assert!(ServePriority::Interactive > ServePriority::Normal);
+        assert!(ServePriority::Normal > ServePriority::Batch);
+    }
+
+    #[test]
+    fn latency_breakdown_totals() {
+        let l = LatencyBreakdown {
+            queue: SimDuration::from_micros(10),
+            input_screen: SimDuration::from_micros(20),
+            inference: SimDuration::from_micros(30),
+            output_screen: SimDuration::from_micros(40),
+        };
+        assert_eq!(l.total(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let mut s = String::from("héllo");
+        truncate_on_char_boundary(&mut s, 2);
+        assert_eq!(s, "h");
+        let mut t = String::from("abc");
+        truncate_on_char_boundary(&mut t, 8);
+        assert_eq!(t, "abc");
+    }
+}

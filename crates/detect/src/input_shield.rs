@@ -142,7 +142,10 @@ impl Detector for InputShield {
             Verdict::flagged(
                 self.name(),
                 score,
-                format!("prompt matched {} suspicious pattern(s)", self.count_matches(text)),
+                format!(
+                    "prompt matched {} suspicious pattern(s)",
+                    self.count_matches(text)
+                ),
                 action,
             )
         } else {
@@ -176,7 +179,9 @@ mod tests {
     #[test]
     fn benign_prompts_pass() {
         let mut s = InputShield::new();
-        let v = s.inspect(&prompt("Summarize the quarterly sales figures for region EMEA."));
+        let v = s.inspect(&prompt(
+            "Summarize the quarterly sales figures for region EMEA.",
+        ));
         assert!(!v.flagged);
         assert_eq!(v.action, RecommendedAction::Allow);
     }

@@ -13,11 +13,37 @@
 //! * **output sanitization** — remove problematic content from responses.
 //!
 //! This crate implements all four, plus a system-level anomaly detector that
-//! consumes the hypervisor's port/interrupt/fault statistics, and a composite
-//! detector that aggregates verdicts. Every detector consumes
-//! [`ModelObservation`]s — exactly the observations a Guillotine hypervisor
-//! can legitimately produce (port traffic, intermediate state exposed over
-//! the private bus, system counters) — and produces a [`Verdict`].
+//! consumes the hypervisor's port/interrupt/fault statistics. Every detector
+//! consumes [`ModelObservation`]s — exactly the observations a Guillotine
+//! hypervisor can legitimately produce (port traffic, intermediate state
+//! exposed over the private bus, system counters) — and produces a
+//! [`Verdict`].
+//!
+//! # Assembling a detector stack
+//!
+//! Deployments no longer hard-wire a detector suite. They describe one with
+//! a [`DetectorRegistry`] — an ordered list of boxed [`Detector`] trait
+//! objects — and install it as a single [`CompositeDetector`]:
+//!
+//! ```
+//! use guillotine_detect::{CompositeDetector, DetectorRegistry, InputShield};
+//!
+//! // The standard five-family suite…
+//! let standard = DetectorRegistry::standard().into_composite();
+//! assert_eq!(standard.len(), 5);
+//!
+//! // …or a bespoke stack for a specialised workload.
+//! let mut registry = DetectorRegistry::new();
+//! registry.register(Box::new(InputShield::new()));
+//! let custom: CompositeDetector = registry.into_composite();
+//! assert_eq!(custom.len(), 1);
+//! ```
+//!
+//! The composite fans every observation out to its children and aggregates:
+//! maximum score, most severe [`RecommendedAction`], all flagging reasons.
+//! The serving pipeline in `guillotine` (the umbrella crate) records the
+//! per-stage verdicts in each `ServeResponse` so callers can see exactly
+//! which detector fired on which request.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +54,7 @@ pub mod composite;
 pub mod input_shield;
 pub mod observation;
 pub mod output_sanitizer;
+pub mod registry;
 pub mod steering;
 pub mod verdict;
 
@@ -37,5 +64,6 @@ pub use composite::CompositeDetector;
 pub use input_shield::InputShield;
 pub use observation::{ActivationStep, ActivationTrace, ModelObservation, SystemStats};
 pub use output_sanitizer::OutputSanitizer;
+pub use registry::DetectorRegistry;
 pub use steering::ActivationSteering;
 pub use verdict::{Detector, RecommendedAction, Verdict};

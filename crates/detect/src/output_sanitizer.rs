@@ -161,7 +161,10 @@ impl Detector for OutputSanitizer {
             Verdict::flagged(
                 self.name(),
                 severity,
-                format!("response contained forbidden categories: {}", matched.join(", ")),
+                format!(
+                    "response contained forbidden categories: {}",
+                    matched.join(", ")
+                ),
                 action,
             )
             .with_replacement(clean)
@@ -215,7 +218,8 @@ mod tests {
     #[test]
     fn multiple_categories_report_highest_severity() {
         let s = OutputSanitizer::new();
-        let (_, cats, sev) = s.sanitize("password: hunter2 and a weight shard in base64 checkpoint form");
+        let (_, cats, sev) =
+            s.sanitize("password: hunter2 and a weight shard in base64 checkpoint form");
         assert!(cats.contains(&"credential-leak".to_string()));
         assert!(cats.contains(&"self-exfiltration".to_string()));
         assert!(sev >= 0.9);

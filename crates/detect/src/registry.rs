@@ -1,0 +1,135 @@
+//! The detector registry: declarative assembly of a deployment's detector
+//! stack.
+//!
+//! The paper treats the misbehavior detector as a pluggable black box inside
+//! the TCB (§3.1). The registry makes that pluggability concrete: a
+//! deployment (or a test) lists the [`Detector`] trait objects it wants, in
+//! order, and hands the registry to [`CompositeDetector::from_registry`].
+//! Nothing outside this module hard-wires a detector suite any more.
+
+use crate::anomaly::AnomalyDetector;
+use crate::circuit_breaker::CircuitBreaker;
+use crate::composite::CompositeDetector;
+use crate::input_shield::InputShield;
+use crate::output_sanitizer::OutputSanitizer;
+use crate::steering::ActivationSteering;
+use crate::verdict::Detector;
+
+/// An ordered collection of boxed [`Detector`]s awaiting installation.
+///
+/// Order matters operationally: verdict reasons concatenate in registration
+/// order, so deployments usually register the cheap text screens first and
+/// the stateful system detectors last, as [`DetectorRegistry::standard`]
+/// does.
+pub struct DetectorRegistry {
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl Default for DetectorRegistry {
+    fn default() -> Self {
+        DetectorRegistry::standard()
+    }
+}
+
+impl DetectorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DetectorRegistry {
+            detectors: Vec::new(),
+        }
+    }
+
+    /// Creates the standard Guillotine suite: input shield, output
+    /// sanitizer, activation steering, circuit breaker and system anomaly
+    /// detection — the four §3.3 families plus the hypervisor's own
+    /// system-counter channel.
+    pub fn standard() -> Self {
+        let mut registry = DetectorRegistry::new();
+        registry
+            .register(Box::new(InputShield::new()))
+            .register(Box::new(OutputSanitizer::new()))
+            .register(Box::new(ActivationSteering::with_default_regions()))
+            .register(Box::new(CircuitBreaker::with_default_regions()))
+            .register(Box::new(AnomalyDetector::new()));
+        registry
+    }
+
+    /// Appends a detector and returns the registry for chaining.
+    pub fn register(&mut self, detector: Box<dyn Detector>) -> &mut Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// The names of the registered detectors, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.detectors
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect()
+    }
+
+    /// Number of registered detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Consumes the registry, yielding the detectors in registration order.
+    pub fn into_detectors(self) -> Vec<Box<dyn Detector>> {
+        self.detectors
+    }
+
+    /// Consumes the registry into a composite detector ready for the
+    /// hypervisor's single detector slot.
+    pub fn into_composite(self) -> CompositeDetector {
+        CompositeDetector::from_registry(self)
+    }
+}
+
+impl std::fmt::Debug for DetectorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorRegistry")
+            .field("detectors", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_lists_all_five_families_in_order() {
+        let registry = DetectorRegistry::standard();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "input-shield",
+                "output-sanitizer",
+                "activation-steering",
+                "circuit-breaker",
+                "system-anomaly"
+            ]
+        );
+        assert_eq!(registry.len(), 5);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn custom_registry_feeds_the_composite() {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(InputShield::new()));
+        let composite = registry.into_composite();
+        assert_eq!(composite.len(), 1);
+    }
+
+    #[test]
+    fn empty_registry_yields_an_empty_composite() {
+        let composite = DetectorRegistry::new().into_composite();
+        assert!(composite.is_empty());
+    }
+}

@@ -114,12 +114,13 @@ impl Detector for ActivationSteering {
         let summary = format!(
             "steered {:.2} activation mass away from {} dangerous steps (trace length {})",
             redirected,
-            trace.len() - steered
-                .steps
-                .iter()
-                .zip(trace.steps.iter())
-                .filter(|(a, b)| a == b)
-                .count(),
+            trace.len()
+                - steered
+                    .steps
+                    .iter()
+                    .zip(trace.steps.iter())
+                    .filter(|(a, b)| a == b)
+                    .count(),
             trace.len()
         );
         Verdict::flagged(self.name(), score, summary, RecommendedAction::Sanitize)

@@ -40,6 +40,11 @@ pub struct Verdict {
     /// A replacement payload (sanitized output, steered activations), when
     /// the detector performs mitigation itself.
     pub replacement: Option<String>,
+    /// For aggregating detectors (the composite), the verdict each child
+    /// detector produced for this observation, in registration order; empty
+    /// for leaf detectors. This is how a `ServeResponse` can report exactly
+    /// which detector said what about each request.
+    pub contributors: Vec<Verdict>,
 }
 
 impl Verdict {
@@ -52,11 +57,17 @@ impl Verdict {
             reason: "no misbehavior observed".into(),
             action: RecommendedAction::Allow,
             replacement: None,
+            contributors: Vec::new(),
         }
     }
 
     /// A flagged verdict.
-    pub fn flagged(detector: &str, score: f64, reason: impl Into<String>, action: RecommendedAction) -> Self {
+    pub fn flagged(
+        detector: &str,
+        score: f64,
+        reason: impl Into<String>,
+        action: RecommendedAction,
+    ) -> Self {
         Verdict {
             detector: detector.to_string(),
             flagged: true,
@@ -64,6 +75,7 @@ impl Verdict {
             reason: reason.into(),
             action,
             replacement: None,
+            contributors: Vec::new(),
         }
     }
 
@@ -71,6 +83,18 @@ impl Verdict {
     pub fn with_replacement(mut self, replacement: impl Into<String>) -> Self {
         self.replacement = Some(replacement.into());
         self
+    }
+
+    /// Attaches the per-child verdicts an aggregating detector combined.
+    pub fn with_contributors(mut self, contributors: Vec<Verdict>) -> Self {
+        self.contributors = contributors;
+        self
+    }
+
+    /// The contributing verdict from the child detector named `detector`,
+    /// when this verdict came from an aggregating detector.
+    pub fn contributor(&self, detector: &str) -> Option<&Verdict> {
+        self.contributors.iter().find(|v| v.detector == detector)
     }
 }
 

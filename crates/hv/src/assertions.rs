@@ -46,7 +46,12 @@ impl AssertionMonitor {
     }
 
     /// Evaluates an invariant.
-    pub fn check(&mut self, now: SimInstant, condition: bool, description: &str) -> AssertionOutcome {
+    pub fn check(
+        &mut self,
+        now: SimInstant,
+        condition: bool,
+        description: &str,
+    ) -> AssertionOutcome {
         self.evaluated += 1;
         if condition {
             AssertionOutcome::Held

@@ -172,7 +172,8 @@ impl DeviceBackend for RagDatabase {
                 }
             }
             IoOpcode::Send => {
-                self.documents.push(String::from_utf8_lossy(payload).into_owned());
+                self.documents
+                    .push(String::from_utf8_lossy(payload).into_owned());
                 Ok((0, Vec::new()))
             }
             _ => Ok((0, Vec::new())),
@@ -390,7 +391,9 @@ mod tests {
             "The Atlantic cod population has declined since 1992.".into(),
             "Transformer models use attention layers.".into(),
         ]);
-        let (status, data) = d.handle(IoOpcode::Receive, b"attention transformer").unwrap();
+        let (status, data) = d
+            .handle(IoOpcode::Receive, b"attention transformer")
+            .unwrap();
         assert_eq!(status, 0);
         assert!(String::from_utf8(data).unwrap().contains("attention"));
         assert_eq!(d.lookups(), 1);

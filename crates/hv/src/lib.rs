@@ -27,6 +27,9 @@ pub mod hypervisor;
 pub mod port;
 
 pub use assertions::{AssertionMonitor, AssertionOutcome};
-pub use device::{DeviceBackend, DeviceRegistry, EchoDevice, GpuDevice, NetworkGateway, RagDatabase, StorageDevice};
+pub use device::{
+    DeviceBackend, DeviceRegistry, EchoDevice, GpuDevice, NetworkGateway, RagDatabase,
+    StorageDevice,
+};
 pub use hypervisor::{HvConfig, HvState, IoServiceReport, SoftwareHypervisor};
 pub use port::{PortCapability, PortKind, PortRegistry, PortRestrictions};

@@ -129,7 +129,9 @@ mod tests {
         // No mapping exists for the IO window, yet access succeeds because it
         // is a separate physical window.
         bus.store(IO_REGION_BASE + 0x100, 8, 0xABCD).unwrap();
-        let (v, lat) = bus.load(IO_REGION_BASE + 0x100, 8, AccessKind::Read).unwrap();
+        let (v, lat) = bus
+            .load(IO_REGION_BASE + 0x100, 8, AccessKind::Read)
+            .unwrap();
         assert_eq!(v, 0xABCD);
         assert_eq!(lat, io.latency());
     }

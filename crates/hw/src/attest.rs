@@ -115,7 +115,9 @@ impl AttestationModule {
 
     /// Produces a quote bound to the verifier-supplied `nonce`.
     pub fn quote(&self, nonce: u64) -> AttestationQuote {
-        let body = self.silicon.0 ^ self.hypervisor.0.rotate_left(17) ^ self.model_layout.0.rotate_left(34);
+        let body = self.silicon.0
+            ^ self.hypervisor.0.rotate_left(17)
+            ^ self.model_layout.0.rotate_left(34);
         AttestationQuote {
             silicon: self.silicon,
             hypervisor: self.hypervisor,
@@ -140,8 +142,9 @@ impl AttestationModule {
         if quote.silicon != expected_silicon || quote.hypervisor != expected_hypervisor {
             return false;
         }
-        let body =
-            quote.silicon.0 ^ quote.hypervisor.0.rotate_left(17) ^ quote.model_layout.0.rotate_left(34);
+        let body = quote.silicon.0
+            ^ quote.hypervisor.0.rotate_left(17)
+            ^ quote.model_layout.0.rotate_left(34);
         let expected_sig = mix_bytes(
             device_key,
             &[body.to_le_bytes(), nonce.to_le_bytes()].concat(),

@@ -10,9 +10,7 @@ use crate::shared_io::{IoDescriptor, SharedIoDram};
 use crate::tamper::TamperSensor;
 use crate::watchpoint::{Watchpoint, WatchpointKind};
 use guillotine_isa::{Program, StepOutcome, Trap};
-use guillotine_mem::{
-    Domain, HierarchyConfig, MemorySystem, MemorySystemConfig, PagePermissions,
-};
+use guillotine_mem::{Domain, HierarchyConfig, MemorySystem, MemorySystemConfig, PagePermissions};
 use guillotine_types::{
     AuditSeverity, CoreId, EventKind, EventLog, GuillotineError, MachineId, Result, SimInstant,
     WatchpointId,
@@ -207,10 +205,12 @@ impl Machine {
 
     /// Access to a model core's metadata and architectural state.
     pub fn model_core(&self, idx: usize) -> Result<&ModelCore> {
-        self.model_cores.get(idx).ok_or(GuillotineError::InvalidCore {
-            core: CoreId::new(idx as u32),
-            reason: "no such model core".into(),
-        })
+        self.model_cores
+            .get(idx)
+            .ok_or(GuillotineError::InvalidCore {
+                core: CoreId::new(idx as u32),
+                reason: "no such model core".into(),
+            })
     }
 
     fn model_core_mut(&mut self, idx: usize) -> Result<&mut ModelCore> {
@@ -283,8 +283,7 @@ impl Machine {
     pub fn load_hypervisor_image(&mut self, image: &[u8]) -> Result<()> {
         self.attestation.measure_hypervisor(image);
         let len = image.len().min(self.config.hypervisor_dram);
-        self.hypervisor_memory
-            .patch_physical(0, &image[..len])?;
+        self.hypervisor_memory.patch_physical(0, &image[..len])?;
         Ok(())
     }
 
@@ -548,7 +547,8 @@ impl Machine {
         let event = self.run_model_core(idx, 1, now)?;
         // Single-stepping leaves the core paused regardless of outcome.
         if self.model_core(idx)?.power_state() != CorePowerState::PoweredDown {
-            self.model_core_mut(idx)?.set_power_state(CorePowerState::Paused);
+            self.model_core_mut(idx)?
+                .set_power_state(CorePowerState::Paused);
         }
         Ok(event)
     }
@@ -964,7 +964,10 @@ mod tests {
             m.model_core(0).unwrap().power_state(),
             CorePowerState::PoweredDown
         );
-        assert_eq!(m.run_model_core(0, 10, now()).unwrap(), RunEvent::PoweredDown);
+        assert_eq!(
+            m.run_model_core(0, 10, now()).unwrap(),
+            RunEvent::PoweredDown
+        );
         m.power_up_core(0, 0x1000, now()).unwrap();
         let (regs, _) = m.read_registers(0).unwrap();
         assert_eq!(regs[1], 0, "register state was lost on power-down");

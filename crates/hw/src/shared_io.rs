@@ -168,9 +168,11 @@ impl SharedIoDram {
             )));
         }
         self.dram.write_u64(slot_base, 4, d.port.raw() as u64)?;
-        self.dram.write_u64(slot_base + 4, 4, d.opcode as u32 as u64)?;
+        self.dram
+            .write_u64(slot_base + 4, 4, d.opcode as u32 as u64)?;
         self.dram.write_u64(slot_base + 8, 4, d.status as u64)?;
-        self.dram.write_u64(slot_base + 12, 4, d.payload.len() as u64)?;
+        self.dram
+            .write_u64(slot_base + 12, 4, d.payload.len() as u64)?;
         self.dram.write_u64(slot_base + 16, 8, d.sequence)?;
         self.dram.write(slot_base + 32, &d.payload)?;
         Ok(())

@@ -72,7 +72,10 @@ mod tests {
         let w = wp(0x100, 0x1FF, WatchpointKind::Any);
         assert!(w.matches(0x100, 1, WatchpointKind::Read));
         assert!(w.matches(0x1FF, 1, WatchpointKind::Write));
-        assert!(w.matches(0x0F0, 0x20, WatchpointKind::Read), "straddles start");
+        assert!(
+            w.matches(0x0F0, 0x20, WatchpointKind::Read),
+            "straddles start"
+        );
         assert!(!w.matches(0x200, 8, WatchpointKind::Read));
         assert!(!w.matches(0x0F0, 0x10, WatchpointKind::Read));
     }

@@ -49,7 +49,11 @@ fn err(line: usize, message: impl fmt::Display) -> AsmError {
 /// One parsed source item, sized before label resolution.
 #[derive(Debug, Clone)]
 enum Item {
-    Inst { line: usize, mnemonic: String, operands: Vec<String> },
+    Inst {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Bytes(Vec<u8>),
     Align(usize),
 }
@@ -198,7 +202,7 @@ pub fn assemble_at(source: &str, base: u64) -> Result<Program, AsmError> {
             Item::Bytes(b) => image.extend_from_slice(b),
             Item::Align(n) => {
                 let n = (*n).max(1);
-                while image.len() % n != 0 {
+                while !image.len().is_multiple_of(n) {
                     image.push(0);
                 }
             }
@@ -219,11 +223,7 @@ pub fn assemble_at(source: &str, base: u64) -> Result<Program, AsmError> {
     Ok(Program::with_base(base, image, labels))
 }
 
-fn resolve(
-    tok: &str,
-    labels: &HashMap<String, u64>,
-    line: usize,
-) -> Result<i64, AsmError> {
+fn resolve(tok: &str, labels: &HashMap<String, u64>, line: usize) -> Result<i64, AsmError> {
     if let Some(&addr) = labels.get(tok.trim()) {
         Ok(addr as i64)
     } else {
@@ -244,7 +244,10 @@ fn need(operands: &[String], n: usize, line: usize, mnemonic: &str) -> Result<()
     if operands.len() != n {
         Err(err(
             line,
-            format!("'{mnemonic}' expects {n} operands, found {}", operands.len()),
+            format!(
+                "'{mnemonic}' expects {n} operands, found {}",
+                operands.len()
+            ),
         ))
     } else {
         Ok(())

@@ -218,7 +218,7 @@ impl CpuState {
 
     /// Writes a general-purpose register (writes to `x0` are ignored).
     pub fn set_reg(&mut self, idx: usize, value: u64) {
-        if idx % 32 != 0 {
+        if !idx.is_multiple_of(32) {
             self.regs[idx % 32] = value;
         }
     }
@@ -398,7 +398,7 @@ impl CpuState {
                     Opcode::Ldw => 4,
                     _ => 8,
                 };
-                if size == 8 && addr % 8 != 0 || size == 4 && addr % 4 != 0 {
+                if size == 8 && !addr.is_multiple_of(8) || size == 4 && !addr.is_multiple_of(4) {
                     return Ok(Some(self.local_exception(2, addr)));
                 }
                 match mem.load(addr, size, AccessKind::Read) {
@@ -419,7 +419,7 @@ impl CpuState {
                     Opcode::Stw => 4,
                     _ => 8,
                 };
-                if size == 8 && addr % 8 != 0 || size == 4 && addr % 4 != 0 {
+                if size == 8 && !addr.is_multiple_of(8) || size == 4 && !addr.is_multiple_of(4) {
                     return Ok(Some(self.local_exception(2, addr)));
                 }
                 match mem.store(addr, size, self.reg(rs2.index())) {

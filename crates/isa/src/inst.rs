@@ -474,7 +474,10 @@ impl Instruction {
     pub fn opcode(self) -> Opcode {
         use Instruction::*;
         match self {
-            Alu { op, .. } | AluImm { op, .. } | Load { op, .. } | Store { op, .. }
+            Alu { op, .. }
+            | AluImm { op, .. }
+            | Load { op, .. }
+            | Store { op, .. }
             | Branch { op, .. } => op,
             Lui { .. } => Opcode::Lui,
             Jal { .. } => Opcode::Jal,

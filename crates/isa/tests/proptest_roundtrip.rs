@@ -30,22 +30,30 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             }
         }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (arb_reg(), arb_reg(), any::<i16>(), prop_oneof![Just(21u8), Just(22), Just(23)]).prop_map(
-            |(rd, rs1, imm, op)| Instruction::Load {
+        (
+            arb_reg(),
+            arb_reg(),
+            any::<i16>(),
+            prop_oneof![Just(21u8), Just(22), Just(23)]
+        )
+            .prop_map(|(rd, rs1, imm, op)| Instruction::Load {
                 op: Opcode::from_u8(op).unwrap(),
                 rd,
                 rs1,
                 imm,
-            }
-        ),
-        (arb_reg(), arb_reg(), any::<i16>(), prop_oneof![Just(24u8), Just(25), Just(26)]).prop_map(
-            |(rs1, rs2, imm, op)| Instruction::Store {
+            }),
+        (
+            arb_reg(),
+            arb_reg(),
+            any::<i16>(),
+            prop_oneof![Just(24u8), Just(25), Just(26)]
+        )
+            .prop_map(|(rs1, rs2, imm, op)| Instruction::Store {
                 op: Opcode::from_u8(op).unwrap(),
                 rs1,
                 rs2,
                 imm,
-            }
-        ),
+            }),
         (arb_reg(), arb_reg(), any::<i16>(), 27u8..=32).prop_map(|(rs1, rs2, imm, op)| {
             Instruction::Branch {
                 op: Opcode::from_u8(op).unwrap(),
@@ -55,8 +63,11 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             }
         }),
         (arb_reg(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, imm)| Instruction::Jal { rd, imm }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, imm)| Instruction::Jalr { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instruction::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
         any::<u16>().prop_map(|arg| Instruction::Hvcall { arg }),
         (arb_reg(), 0u16..16).prop_map(|(rd, csr)| Instruction::Csrr { rd, csr }),
         (arb_reg(), 0u16..16).prop_map(|(rs1, csr)| Instruction::Csrw { rs1, csr }),

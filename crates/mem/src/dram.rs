@@ -65,7 +65,10 @@ impl Dram {
         if end > self.bytes.len() {
             return Err(GuillotineError::MemoryFault {
                 addr,
-                reason: format!("access of {len} bytes beyond DRAM size {}", self.bytes.len()),
+                reason: format!(
+                    "access of {len} bytes beyond DRAM size {}",
+                    self.bytes.len()
+                ),
             });
         }
         Ok((start, end))

@@ -302,7 +302,8 @@ mod tests {
     #[test]
     fn tlb_hits_after_first_walk() {
         let mut m = Mmu::new();
-        m.identity_map(0, 2 * PAGE_SIZE, PagePermissions::RW).unwrap();
+        m.identity_map(0, 2 * PAGE_SIZE, PagePermissions::RW)
+            .unwrap();
         let (_, lat1) = m.translate(0x10, Access::Read).unwrap();
         let (_, lat2) = m.translate(0x18, Access::Read).unwrap();
         assert!(lat1 > 0);

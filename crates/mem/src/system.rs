@@ -208,7 +208,10 @@ mod tests {
         s.probe(0x8000).unwrap();
         assert!(s.clear_microarchitectural_state() > 0);
         let after = s.probe(0x8000).unwrap();
-        assert!(after > 100, "after flush the access should miss, got {after}");
+        assert!(
+            after > 100,
+            "after flush the access should miss, got {after}"
+        );
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!
 //! * [`service`] — the inference-service simulator (queues, replicas, KV
 //!   cache, token generation, RAG lookups),
+//! * [`forward`] — the simulated forward pass whose per-launch weight sweep
+//!   gives batching its real cost advantage (used by the deployment's
+//!   `serve_batch`),
 //! * [`workload`] — open-loop request generators with benign and adversarial
 //!   prompt corpora and activation-trace synthesis,
 //! * [`rogue`] — the rogue-behaviour library: each entry is one concrete
@@ -19,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forward;
 pub mod rogue;
 pub mod service;
 pub mod workload;
 
+pub use forward::{simulated_answer, BatchedForwardPass};
 pub use rogue::{AttackFamily, AttackVector, RogueLibrary};
 pub use service::{InferenceService, ServiceConfig, ServiceStats};
 pub use workload::{InferenceRequest, PromptClass, WorkloadConfig, WorkloadGenerator};

@@ -148,6 +148,13 @@ impl InferenceService {
         self.queue.push_back(request);
     }
 
+    /// Enqueues a whole batch in order; the batched front door
+    /// (`GuillotineDeployment::serve_batch`) admits requests this way so the
+    /// replica scheduler sees them as one arrival wave.
+    pub fn submit_batch(&mut self, requests: impl IntoIterator<Item = InferenceRequest>) {
+        self.queue.extend(requests);
+    }
+
     fn prompt_key(prompt: &str) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in prompt.as_bytes().iter().take(64) {
@@ -283,7 +290,26 @@ mod tests {
         let slow = run(1, &requests);
         let fast = run(8, &requests);
         requests.clear();
-        assert!(fast < slow, "8 replicas {fast} should beat 1 replica {slow}");
+        assert!(
+            fast < slow,
+            "8 replicas {fast} should beat 1 replica {slow}"
+        );
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submission() {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig::default());
+        let requests = gen.batch(50);
+        let mut one = InferenceService::new(ServiceConfig::default());
+        for r in &requests {
+            one.submit(r.clone());
+        }
+        let mut batched = InferenceService::new(ServiceConfig::default());
+        batched.submit_batch(requests);
+        assert_eq!(one.queue_depth(), batched.queue_depth());
+        let a = one.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        let b = batched.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -156,8 +156,10 @@ impl WorkloadGenerator {
     /// Generates the next request; arrivals follow a Poisson process at the
     /// configured rate.
     pub fn next_request(&mut self) -> InferenceRequest {
-        let gap_secs = self.rng.exponential(1.0 / self.config.arrival_rate.max(1e-9));
-        self.clock = self.clock + SimDuration::from_nanos((gap_secs * 1e9) as u64);
+        let gap_secs = self
+            .rng
+            .exponential(1.0 / self.config.arrival_rate.max(1e-9));
+        self.clock += SimDuration::from_nanos((gap_secs * 1e9) as u64);
         let class = self.pick_class();
         let prompt = self.prompt_for(class);
         let id = RequestId::new(self.next_id);
@@ -191,7 +193,10 @@ impl WorkloadGenerator {
                 PromptClass::Benign => {
                     // Rarely brush a dangerous region, at low magnitude.
                     if self.rng.chance(0.02) {
-                        (900 + self.rng.below(100) as u32, 0.05 + self.rng.unit() * 0.1)
+                        (
+                            900 + self.rng.below(100) as u32,
+                            0.05 + self.rng.unit() * 0.1,
+                        )
                     } else {
                         (self.rng.below(800) as u32, self.rng.unit())
                     }
@@ -207,7 +212,10 @@ impl WorkloadGenerator {
                     if self.rng.chance(0.5) {
                         (990 + self.rng.below(10) as u32, 0.5 + self.rng.unit() * 0.5)
                     } else {
-                        (900 + self.rng.below(100) as u32, 0.3 + self.rng.unit() * 0.4)
+                        (
+                            900 + self.rng.below(100) as u32,
+                            0.3 + self.rng.unit() * 0.4,
+                        )
                     }
                 }
             };

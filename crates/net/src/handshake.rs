@@ -50,7 +50,10 @@ impl fmt::Display for HandshakeError {
                 write!(f, "certificate presented by {peer} failed verification")
             }
             HandshakeError::GuillotinePeerRefused => {
-                write!(f, "connection refused: peer is another Guillotine hypervisor")
+                write!(
+                    f,
+                    "connection refused: peer is another Guillotine hypervisor"
+                )
             }
         }
     }
@@ -155,15 +158,12 @@ mod tests {
     fn setup() -> (RegulatorCa, Endpoint, Endpoint, Endpoint) {
         let mut ca = RegulatorCa::new("Regulator CA", 99);
         let exp = SimInstant::ZERO + SimDuration::from_secs(86_400);
-        let guillotine_a = Endpoint::new(
-            "guillotine-a",
-            ca.issue("guillotine-a", 11, true, exp),
+        let guillotine_a = Endpoint::new("guillotine-a", ca.issue("guillotine-a", 11, true, exp));
+        let guillotine_b = Endpoint::new("guillotine-b", ca.issue("guillotine-b", 22, true, exp));
+        let plain = Endpoint::new(
+            "database.example",
+            ca.issue("database.example", 33, false, exp),
         );
-        let guillotine_b = Endpoint::new(
-            "guillotine-b",
-            ca.issue("guillotine-b", 22, true, exp),
-        );
-        let plain = Endpoint::new("database.example", ca.issue("database.example", 33, false, exp));
         (ca, guillotine_a, guillotine_b, plain)
     }
 

@@ -217,10 +217,7 @@ impl Network {
     pub fn send(&mut self, from: &str, to: &str, payload: Vec<u8>, now: SimInstant) -> Result<()> {
         self.stats.sent += 1;
         let idx = self.link_index(from, to);
-        let connected = matches!(
-            idx.map(|i| self.links[i].state),
-            Some(LinkState::Connected)
-        );
+        let connected = matches!(idx.map(|i| self.links[i].state), Some(LinkState::Connected));
         if !connected {
             self.stats.blocked += 1;
             return Err(GuillotineError::NetworkError {

@@ -129,7 +129,9 @@ impl ControlConsole {
 
     /// Registers a machine at the standard isolation level.
     pub fn register_machine(&mut self, machine: MachineId, now: SimInstant) {
-        self.levels.entry(machine).or_insert(IsolationLevel::Standard);
+        self.levels
+            .entry(machine)
+            .or_insert(IsolationLevel::Standard);
         self.switches.entry(machine).or_default();
         self.cables_replaced.entry(machine).or_insert(false);
         self.heartbeats.watch(machine, now);
@@ -441,7 +443,12 @@ mod tests {
         SimInstant::from_nanos(ms * 1_000_000)
     }
 
-    fn console_votes(c: &mut ControlConsole, machine: MachineId, to: IsolationLevel, approvals: usize) -> Vec<Vote> {
+    fn console_votes(
+        c: &mut ControlConsole,
+        machine: MachineId,
+        to: IsolationLevel,
+        approvals: usize,
+    ) -> Vec<Vote> {
         let ballot = c.open_ballot(machine, to).unwrap();
         (0..ADMIN_SEATS)
             .map(|i| {
@@ -450,7 +457,9 @@ mod tests {
                 } else {
                     VoteKind::Reject
                 };
-                c.hsm().cast_vote(AdminId::new(i as u32), &ballot, kind).unwrap()
+                c.hsm()
+                    .cast_vote(AdminId::new(i as u32), &ballot, kind)
+                    .unwrap()
             })
             .collect()
     }
@@ -460,13 +469,23 @@ mod tests {
         let mut c = console();
         let m = MachineId::new(0);
         let plan = c
-            .request_transition(m, IsolationLevel::Severed, TransitionRequester::SoftwareHypervisor, t(0))
+            .request_transition(
+                m,
+                IsolationLevel::Severed,
+                TransitionRequester::SoftwareHypervisor,
+                t(0),
+            )
             .unwrap();
         assert_eq!(plan.to, IsolationLevel::Severed);
         assert_eq!(c.level(m), Some(IsolationLevel::Severed));
         // Relaxation by the software hypervisor is denied.
         let err = c
-            .request_transition(m, IsolationLevel::Standard, TransitionRequester::SoftwareHypervisor, t(1))
+            .request_transition(
+                m,
+                IsolationLevel::Standard,
+                TransitionRequester::SoftwareHypervisor,
+                t(1),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("only escalate"));
         assert_eq!(c.level(m), Some(IsolationLevel::Severed));
@@ -476,16 +495,31 @@ mod tests {
     fn console_relaxation_requires_five_approvals() {
         let mut c = console();
         let m = MachineId::new(0);
-        c.request_transition(m, IsolationLevel::Offline, TransitionRequester::SoftwareHypervisor, t(0))
-            .unwrap();
+        c.request_transition(
+            m,
+            IsolationLevel::Offline,
+            TransitionRequester::SoftwareHypervisor,
+            t(0),
+        )
+        .unwrap();
         let four = console_votes(&mut c, m, IsolationLevel::Standard, 4);
         assert!(c
-            .request_transition(m, IsolationLevel::Standard, TransitionRequester::Console { votes: four }, t(1))
+            .request_transition(
+                m,
+                IsolationLevel::Standard,
+                TransitionRequester::Console { votes: four },
+                t(1)
+            )
             .is_err());
         assert_eq!(c.level(m), Some(IsolationLevel::Offline));
         let five = console_votes(&mut c, m, IsolationLevel::Standard, 5);
         let plan = c
-            .request_transition(m, IsolationLevel::Standard, TransitionRequester::Console { votes: five }, t(2))
+            .request_transition(
+                m,
+                IsolationLevel::Standard,
+                TransitionRequester::Console { votes: five },
+                t(2),
+            )
             .unwrap();
         assert_eq!(c.level(m), Some(IsolationLevel::Standard));
         assert!(plan.actions.contains(&PhysicalAction::ReconnectCables));
@@ -498,11 +532,21 @@ mod tests {
         let m = MachineId::new(0);
         let two = console_votes(&mut c, m, IsolationLevel::Probation, 2);
         assert!(c
-            .request_transition(m, IsolationLevel::Probation, TransitionRequester::Console { votes: two }, t(0))
+            .request_transition(
+                m,
+                IsolationLevel::Probation,
+                TransitionRequester::Console { votes: two },
+                t(0)
+            )
             .is_err());
         let three = console_votes(&mut c, m, IsolationLevel::Probation, 3);
         assert!(c
-            .request_transition(m, IsolationLevel::Probation, TransitionRequester::Console { votes: three }, t(1))
+            .request_transition(
+                m,
+                IsolationLevel::Probation,
+                TransitionRequester::Console { votes: three },
+                t(1)
+            )
             .is_ok());
     }
 
@@ -511,13 +555,23 @@ mod tests {
         let mut c = console();
         let m = MachineId::new(0);
         let plan = c
-            .request_transition(m, IsolationLevel::Offline, TransitionRequester::SoftwareHypervisor, t(0))
+            .request_transition(
+                m,
+                IsolationLevel::Offline,
+                TransitionRequester::SoftwareHypervisor,
+                t(0),
+            )
             .unwrap();
         assert!(plan.completes_at > plan.approved_at);
         assert!(plan.actions.contains(&PhysicalAction::DisconnectCables));
         assert!(plan.actions.contains(&PhysicalAction::PowerDownCores));
         let bank = c.switches(m).unwrap();
-        assert!(bank.get(KillSwitchKind::NetworkDisconnect).unwrap().triggers > 0);
+        assert!(
+            bank.get(KillSwitchKind::NetworkDisconnect)
+                .unwrap()
+                .triggers
+                > 0
+        );
         assert!(bank.get(KillSwitchKind::PowerCut).unwrap().triggers > 0);
     }
 
@@ -525,17 +579,32 @@ mod tests {
     fn decapitation_requires_cable_replacement_before_relaxation() {
         let mut c = console();
         let m = MachineId::new(0);
-        c.request_transition(m, IsolationLevel::Decapitation, TransitionRequester::SoftwareHypervisor, t(0))
-            .unwrap();
+        c.request_transition(
+            m,
+            IsolationLevel::Decapitation,
+            TransitionRequester::SoftwareHypervisor,
+            t(0),
+        )
+        .unwrap();
         let votes = console_votes(&mut c, m, IsolationLevel::Offline, 7);
         let err = c
-            .request_transition(m, IsolationLevel::Offline, TransitionRequester::Console { votes }, t(1))
+            .request_transition(
+                m,
+                IsolationLevel::Offline,
+                TransitionRequester::Console { votes },
+                t(1),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("cable replacement"));
         c.record_cable_replacement(m);
         let votes = console_votes(&mut c, m, IsolationLevel::Offline, 7);
         assert!(c
-            .request_transition(m, IsolationLevel::Offline, TransitionRequester::Console { votes }, t(2))
+            .request_transition(
+                m,
+                IsolationLevel::Offline,
+                TransitionRequester::Console { votes },
+                t(2)
+            )
             .is_ok());
     }
 
@@ -543,11 +612,21 @@ mod tests {
     fn immolation_is_terminal() {
         let mut c = console();
         let m = MachineId::new(0);
-        c.request_transition(m, IsolationLevel::Immolation, TransitionRequester::SoftwareHypervisor, t(0))
-            .unwrap();
+        c.request_transition(
+            m,
+            IsolationLevel::Immolation,
+            TransitionRequester::SoftwareHypervisor,
+            t(0),
+        )
+        .unwrap();
         let votes = console_votes(&mut c, m, IsolationLevel::Standard, 7);
         let err = c
-            .request_transition(m, IsolationLevel::Standard, TransitionRequester::Console { votes }, t(1))
+            .request_transition(
+                m,
+                IsolationLevel::Standard,
+                TransitionRequester::Console { votes },
+                t(1),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("immolated"));
     }
@@ -569,8 +648,18 @@ mod tests {
     fn transition_trail_records_denials_and_grants() {
         let mut c = console();
         let m = MachineId::new(0);
-        let _ = c.request_transition(m, IsolationLevel::Severed, TransitionRequester::SoftwareHypervisor, t(0));
-        let _ = c.request_transition(m, IsolationLevel::Standard, TransitionRequester::SoftwareHypervisor, t(1));
+        let _ = c.request_transition(
+            m,
+            IsolationLevel::Severed,
+            TransitionRequester::SoftwareHypervisor,
+            t(0),
+        );
+        let _ = c.request_transition(
+            m,
+            IsolationLevel::Standard,
+            TransitionRequester::SoftwareHypervisor,
+            t(1),
+        );
         let records = c.transitions();
         assert_eq!(records.len(), 2);
         assert!(records[0].permitted);

@@ -7,9 +7,7 @@ use std::fmt;
 ///
 /// Ordered from least to most restrictive; `Ord` follows that ordering so
 /// `a < b` means "b is more restrictive than a".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IsolationLevel {
     /// The model can receive any inputs and send any outputs, subject to the
     /// standing software/microarchitectural restrictions.
@@ -109,7 +107,12 @@ mod tests {
     fn ordering_matches_restrictiveness() {
         let all = IsolationLevel::ALL;
         for w in all.windows(2) {
-            assert!(w[0] < w[1], "{} should be less restrictive than {}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "{} should be less restrictive than {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

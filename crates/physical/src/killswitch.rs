@@ -226,7 +226,10 @@ mod tests {
         fire.advance(t(1_000_000));
         assert!(fire.is_activated());
         assert!(fire.reset().is_err());
-        assert!(fire.trigger(t(2_000_000)).is_err(), "cannot re-trigger a spent immolation");
+        assert!(
+            fire.trigger(t(2_000_000)).is_err(),
+            "cannot re-trigger a spent immolation"
+        );
     }
 
     #[test]

@@ -256,11 +256,7 @@ mod tests {
     }
 
     fn ballot(from: IsolationLevel, to: IsolationLevel) -> Ballot {
-        Ballot {
-            from,
-            to,
-            nonce: 7,
-        }
+        Ballot { from, to, nonce: 7 }
     }
 
     fn votes(hsm: &QuorumHsm, ballot: &Ballot, approvals: usize) -> Vec<Vote> {
@@ -339,7 +335,9 @@ mod tests {
             to: IsolationLevel::Standard,
             nonce: 2,
         };
-        let vote_for_b1 = h.cast_vote(AdminId::new(0), &b1, VoteKind::Approve).unwrap();
+        let vote_for_b1 = h
+            .cast_vote(AdminId::new(0), &b1, VoteKind::Approve)
+            .unwrap();
         // The same signed vote is not valid for a different ballot.
         let mut h2 = hsm();
         let err = h2.decide(&b2, &[vote_for_b1]).unwrap_err();

@@ -1,9 +1,7 @@
 //! Property-based tests for the physical hypervisor's safety invariants.
 
 use guillotine_physical::quorum::{AdminSet, Ballot, QuorumHsm, VoteKind, ADMIN_SEATS};
-use guillotine_physical::{
-    ControlConsole, HeartbeatConfig, IsolationLevel, TransitionRequester,
-};
+use guillotine_physical::{ControlConsole, HeartbeatConfig, IsolationLevel, TransitionRequester};
 use guillotine_types::{AdminId, MachineId, SimInstant};
 use proptest::prelude::*;
 

@@ -86,10 +86,14 @@ impl AuditScheduler {
 
     /// The audit kinds that are overdue (or missing) for a model at `now`.
     pub fn overdue(&self, model: ModelId, now: SimInstant) -> Vec<AuditKind> {
-        [AuditKind::SourceCode, AuditKind::Attestation, AuditKind::Physical]
-            .into_iter()
-            .filter(|k| !self.is_current(model, *k, now))
-            .collect()
+        [
+            AuditKind::SourceCode,
+            AuditKind::Attestation,
+            AuditKind::Physical,
+        ]
+        .into_iter()
+        .filter(|k| !self.is_current(model, *k, now))
+        .collect()
     }
 
     /// Fraction of models in `fleet` whose audits are all current at `now`.
@@ -153,14 +157,22 @@ mod tests {
         let mut s = AuditScheduler::new();
         s.record(rec(0, AuditKind::Attestation, 1, false));
         s.record(rec(0, AuditKind::Attestation, 3, true));
-        assert!(s.latest(ModelId::new(0), AuditKind::Attestation).unwrap().passed);
+        assert!(
+            s.latest(ModelId::new(0), AuditKind::Attestation)
+                .unwrap()
+                .passed
+        );
         assert_eq!(s.records_for(ModelId::new(0)).len(), 2);
     }
 
     #[test]
     fn fleet_coverage_fraction() {
         let mut s = AuditScheduler::new();
-        for kind in [AuditKind::SourceCode, AuditKind::Attestation, AuditKind::Physical] {
+        for kind in [
+            AuditKind::SourceCode,
+            AuditKind::Attestation,
+            AuditKind::Physical,
+        ] {
             s.record(rec(0, kind, 1, true));
         }
         let fleet = vec![ModelId::new(0), ModelId::new(1)];

@@ -80,7 +80,11 @@ mod tests {
 
     fn full_audits(model: ModelId) -> AuditScheduler {
         let mut s = AuditScheduler::new();
-        for kind in [AuditKind::SourceCode, AuditKind::Attestation, AuditKind::Physical] {
+        for kind in [
+            AuditKind::SourceCode,
+            AuditKind::Attestation,
+            AuditKind::Physical,
+        ] {
             s.record(AuditRecord {
                 model,
                 kind,

@@ -155,7 +155,10 @@ impl fmt::Display for GuillotineError {
                 write!(f, "memory fault at {addr:#x}: {reason}")
             }
             GuillotineError::IllegalInstruction { pc, word, reason } => {
-                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}: {reason}")
+                write!(
+                    f,
+                    "illegal instruction {word:#010x} at pc {pc:#x}: {reason}"
+                )
             }
             GuillotineError::InvalidCore { core, reason } => {
                 write!(f, "invalid core {core}: {reason}")
@@ -173,7 +176,10 @@ impl fmt::Display for GuillotineError {
             GuillotineError::QuorumNotReached {
                 approvals,
                 required,
-            } => write!(f, "quorum not reached: {approvals} approvals, {required} required"),
+            } => write!(
+                f,
+                "quorum not reached: {approvals} approvals, {required} required"
+            ),
             GuillotineError::AttestationFailure { reason } => {
                 write!(f, "attestation failure: {reason}")
             }

@@ -92,6 +92,13 @@ define_id!(
     "wp"
 );
 define_id!(
+    /// Identifies a requester session across the serving front door; all
+    /// requests of one conversation share a session id so detector verdicts
+    /// and audit records can be correlated per user.
+    SessionId,
+    "sess"
+);
+define_id!(
     /// Identifies a network connection established by the software hypervisor.
     ConnectionId,
     "conn"

@@ -1,13 +1,17 @@
 //! Inference service: drive the synthetic model service (request queues,
-//! replicas, KV cache, RAG lookups) behind the Guillotine port API and report
-//! service-level and hypervisor-level statistics side by side.
+//! replicas, KV cache, RAG lookups) behind the Guillotine batched front
+//! door and report service-level and hypervisor-level statistics side by
+//! side.
 //!
 //! Run with: `cargo run --example inference_service`
 
 use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+use guillotine::serve::{ServeOutcomeKind, ServeRequest};
 use guillotine_hw::IoOpcode;
 use guillotine_model::{InferenceService, ServiceConfig, WorkloadConfig, WorkloadGenerator};
-use guillotine_types::SimInstant;
+use guillotine_types::{SessionId, SimInstant};
+
+const BATCH: usize = 32;
 
 fn main() -> guillotine_types::Result<()> {
     let mut deployment = GuillotineDeployment::new(DeploymentConfig::default())?;
@@ -23,33 +27,48 @@ fn main() -> guillotine_types::Result<()> {
     let requests = generator.batch(500);
     let mut flagged = 0u64;
     let mut blocked = 0u64;
-    for request in &requests {
-        // Every prompt goes through the screened front door.
-        let outcome = deployment.serve_prompt(&request.prompt)?;
-        if outcome.flagged {
-            flagged += 1;
+    let mut escalated = 0u64;
+    // Every prompt goes through the screened front door, BATCH at a time —
+    // the per-batch weight sweep and system snapshot amortize across each
+    // wave, exactly what serve_batch exists for.
+    for (wave_idx, wave) in requests.chunks(BATCH).enumerate() {
+        let batch: Vec<ServeRequest> = wave
+            .iter()
+            .map(|r| {
+                ServeRequest::new(r.prompt.clone()).with_session(SessionId::new(wave_idx as u32))
+            })
+            .collect();
+        let responses = deployment.serve_batch(batch)?;
+        let mut admitted = Vec::new();
+        for (request, response) in wave.iter().zip(&responses) {
+            if response.flagged() {
+                flagged += 1;
+            }
+            match response.outcome {
+                ServeOutcomeKind::Escalated => escalated += 1,
+                ServeOutcomeKind::Refused => blocked += 1,
+                _ => admitted.push(request.clone()),
+            }
         }
-        if !outcome.delivered {
-            blocked += 1;
-            continue;
-        }
-        // The model's compute and retrieval go through ports.
-        deployment.hypervisor_mut().submit_model_request(
-            gpu_port,
-            IoOpcode::Send,
-            request.output_tokens.to_le_bytes().to_vec(),
-        )?;
-        if request.needs_rag {
+        // The admitted requests' compute and retrieval go through ports.
+        for request in &admitted {
             deployment.hypervisor_mut().submit_model_request(
-                rag_port,
-                IoOpcode::Receive,
-                request.prompt.clone().into_bytes(),
+                gpu_port,
+                IoOpcode::Send,
+                request.output_tokens.to_le_bytes().to_vec(),
             )?;
+            if request.needs_rag {
+                deployment.hypervisor_mut().submit_model_request(
+                    rag_port,
+                    IoOpcode::Receive,
+                    request.prompt.clone().into_bytes(),
+                )?;
+            }
         }
         let now = deployment.clock.now();
         deployment.hypervisor_mut().service_io(now)?;
         while deployment.hypervisor_mut().take_model_response()?.is_some() {}
-        service.submit(request.clone());
+        service.submit_batch(admitted);
     }
     let completed = service.run_until(SimInstant::from_nanos(u64::MAX / 2));
 
@@ -68,6 +87,7 @@ fn main() -> guillotine_types::Result<()> {
     println!("payloads flagged    : {}", io.flagged);
     println!("prompts flagged     : {flagged}");
     println!("prompts blocked     : {blocked}");
+    println!("prompts escalated   : {escalated}");
     println!("final isolation     : {}", deployment.isolation_level());
     println!(
         "audit events        : {}",

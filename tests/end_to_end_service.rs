@@ -1,8 +1,9 @@
 //! End-to-end service test: a realistic mixed workload flows through the
-//! screened front door and the port API for many requests; the deployment
+//! batched front door and the port API for many requests; the deployment
 //! stays healthy, audits everything, and only escalates when attacked.
 
 use guillotine::deployment::{DeploymentConfig, GuillotineDeployment};
+use guillotine::serve::{ServeRequest, ServeStage};
 use guillotine_hw::IoOpcode;
 use guillotine_model::{PromptClass, WorkloadConfig, WorkloadGenerator};
 use guillotine_physical::IsolationLevel;
@@ -17,15 +18,40 @@ fn benign_workload_runs_at_standard_isolation_with_full_audit() {
     });
     let gpu = d.ports().gpu;
     let n = 200;
-    for request in generator.batch(n) {
-        let out = d.serve_prompt(&request.prompt).unwrap();
-        assert!(out.delivered);
-        d.hypervisor_mut()
-            .submit_model_request(gpu, IoOpcode::Send, request.output_tokens.to_le_bytes().to_vec())
-            .unwrap();
+    for wave in generator.batch(n).chunks(16) {
+        let batch: Vec<ServeRequest> = wave
+            .iter()
+            .map(|r| ServeRequest::new(r.prompt.clone()))
+            .collect();
+        let responses = d.serve_batch(batch).unwrap();
+        assert_eq!(responses.len(), wave.len());
+        for response in &responses {
+            assert!(response.delivered());
+            // Every response carries a verdict for every pipeline stage, and
+            // each stage verdict is traceable to every installed detector.
+            for stage in [
+                ServeStage::SystemAnomaly,
+                ServeStage::InputShield,
+                ServeStage::OutputSanitizer,
+            ] {
+                let verdict = response.stage_verdict(stage).expect("stage verdict");
+                assert_eq!(verdict.contributors.len(), 5);
+                assert!(verdict.contributor("input-shield").is_some());
+                assert!(verdict.contributor("system-anomaly").is_some());
+            }
+        }
+        for request in wave {
+            d.hypervisor_mut()
+                .submit_model_request(
+                    gpu,
+                    IoOpcode::Send,
+                    request.output_tokens.to_le_bytes().to_vec(),
+                )
+                .unwrap();
+        }
         let now = d.clock.now();
         d.hypervisor_mut().service_io(now).unwrap();
-        let _ = d.hypervisor_mut().take_model_response().unwrap();
+        while d.hypervisor_mut().take_model_response().unwrap().is_some() {}
     }
     assert_eq!(d.isolation_level(), IsolationLevel::Standard);
     let io = d.hypervisor().io_report();
@@ -84,7 +110,10 @@ fn benign_and_adversarial_classes_are_distinguished_by_ground_truth() {
         ..WorkloadConfig::default()
     });
     let batch = generator.batch(500);
-    let benign = batch.iter().filter(|r| r.class == PromptClass::Benign).count();
+    let benign = batch
+        .iter()
+        .filter(|r| r.class == PromptClass::Benign)
+        .count();
     let adversarial = batch.iter().filter(|r| r.class.is_adversarial()).count();
     assert_eq!(benign + adversarial, 500);
     assert!(adversarial > 100 && adversarial < 220);

@@ -62,5 +62,9 @@ fn containment_is_reported_with_escalated_isolation_where_expected() {
     );
     let campaign_table = report.table().render();
     assert!(campaign_table.contains("SideChannelProbe"));
-    assert!(campaign_table.contains("Immolation") || campaign_table.contains("offline") || !campaign_table.is_empty());
+    assert!(
+        campaign_table.contains("Immolation")
+            || campaign_table.contains("offline")
+            || !campaign_table.is_empty()
+    );
 }

@@ -81,7 +81,11 @@ fn e6_quorum_thresholds_bias_toward_safety() {
 fn e7_heartbeat_loss_is_detected_quickly_and_rarely_spuriously() {
     let r = e7_heartbeat(&[0.0, 0.05, 0.2], 5).unwrap();
     for p in &r.points {
-        assert!(p.detection_latency.as_millis() <= 1000, "detection too slow at loss {}", p.loss_probability);
+        assert!(
+            p.detection_latency.as_millis() <= 1000,
+            "detection too slow at loss {}",
+            p.loss_probability
+        );
     }
     // With no loss there are no false positives at all.
     assert_eq!(r.points[0].false_positives_per_1000, 0.0);

@@ -25,7 +25,7 @@ fn machine_check_reboots_to_offline_and_escalates() {
     d.apply_pending_escalation().unwrap();
     assert!(d.isolation_level() >= IsolationLevel::Offline);
     // Fail closed: no prompt service afterwards.
-    assert!(!d.serve_prompt("hello").unwrap().delivered);
+    assert!(!d.serve_prompt("hello").unwrap().delivered());
 }
 
 #[test]
@@ -56,7 +56,10 @@ fn console_silence_makes_the_hypervisor_fail_closed() {
             break;
         }
     }
-    assert!(offline, "hypervisor must reboot to offline when the console goes silent");
+    assert!(
+        offline,
+        "hypervisor must reboot to offline when the console goes silent"
+    );
 }
 
 #[test]
@@ -72,7 +75,8 @@ fn machine_silence_makes_the_console_fail_closed() {
 #[test]
 fn decapitated_deployments_stay_down_until_cables_are_replaced() {
     let mut d = deployment();
-    d.console_transition(IsolationLevel::Decapitation, 3).unwrap();
+    d.console_transition(IsolationLevel::Decapitation, 3)
+        .unwrap();
     assert!(!d.datacenter().physical_integrity_ok());
     // Even unanimous approval cannot relax before manual cable replacement.
     assert!(d.console_transition(IsolationLevel::Offline, 7).is_err());

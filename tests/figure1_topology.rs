@@ -2,7 +2,9 @@
 //! architecture diagram must exist in a freshly built deployment and be wired
 //! the way the figure draws it.
 
-use guillotine::deployment::{DeploymentConfig, GuillotineDeployment, CONSOLE_NODE, INTERNET_NODE, MACHINE_NODE};
+use guillotine::deployment::{
+    DeploymentConfig, GuillotineDeployment, CONSOLE_NODE, INTERNET_NODE, MACHINE_NODE,
+};
 use guillotine_net::LinkState;
 use guillotine_physical::IsolationLevel;
 

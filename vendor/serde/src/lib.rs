@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal facade: the [`Serialize`] / [`Deserialize`] marker traits plus
+//! no-op derive macros re-exported from the vendored `serde_derive`. Nothing
+//! in the simulator serializes at runtime; the derives keep result types
+//! ready for a real serde once the workspace can take the dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

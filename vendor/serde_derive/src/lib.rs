@@ -1,0 +1,20 @@
+//! Offline no-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this stub. `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to
+//! nothing: no simulator code path actually serializes data — the derives in
+//! the tree exist so result types stay wire-ready for a future transport.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
