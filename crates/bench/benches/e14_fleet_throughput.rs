@@ -1,0 +1,117 @@
+//! E14: fleet serving throughput.
+//!
+//! Serves the same request stream through `GuillotineFleet`s of 1, 2 and 8
+//! shards. Shards are independent machines serving concurrently, so the
+//! honest scaling metric is the fleet's *simulated* serving time (each wave
+//! completes when its slowest shard finishes): per wave of W requests a
+//! single shard pays `launch + W × per-request`, while S shards pay
+//! `launch + (W/S) × per-request` — the acceptance bar is ≥1.5x simulated
+//! throughput at 8 shards vs 1. `serve_batch_parallel` additionally spreads
+//! the shard work across OS threads, so multi-core hosts see wall-clock
+//! gains too; the Criterion group measures that side. Per-shard
+//! `forward_launches()` witness the amortization: one launch per shard per
+//! wave.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use guillotine::fleet::{GuillotineFleet, RoutingPolicy};
+use guillotine::serve::ServeRequest;
+use guillotine_types::SessionId;
+
+const WAVES: usize = 4;
+const WAVE_SIZE: usize = 64;
+
+fn stream() -> Vec<Vec<ServeRequest>> {
+    (0..WAVES)
+        .map(|wave| {
+            (0..WAVE_SIZE)
+                .map(|i| {
+                    ServeRequest::new(format!(
+                        "Wave {wave}: summarize change {i} in the release notes."
+                    ))
+                    .with_session(SessionId::new(i as u32))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fleet(shards: usize) -> GuillotineFleet {
+    // Round-robin keeps sub-batches exactly even, so the launch-count
+    // witness below is exact: one forward launch per shard per wave.
+    GuillotineFleet::builder()
+        .with_shards(shards)
+        .with_routing(RoutingPolicy::RoundRobin)
+        .build()
+        .unwrap()
+}
+
+/// Serves the whole stream and returns simulated elapsed seconds.
+fn serve_stream(fleet: &mut GuillotineFleet, parallel: bool) -> f64 {
+    for wave in stream() {
+        let responses = if parallel {
+            fleet.serve_batch_parallel(wave).unwrap()
+        } else {
+            fleet.serve_batch(wave).unwrap()
+        };
+        assert!(responses.iter().all(|r| r.delivered()));
+    }
+    fleet.stats().elapsed.as_nanos() as f64 / 1e9
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline: deterministic simulated throughput scaling, 1 vs 2 vs 8
+    // shards on the same stream.
+    let requests = (WAVES * WAVE_SIZE) as f64;
+    let mut throughput = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let mut f = fleet(shards);
+        let elapsed = serve_stream(&mut f, true);
+        // The amortization witness: every shard launched its forward pass
+        // exactly once per wave it participated in.
+        for stats in f.stats().shards {
+            assert_eq!(
+                stats.forward_launches, WAVES as u64,
+                "each shard must launch exactly once per fleet wave"
+            );
+        }
+        throughput.push((shards, requests / elapsed));
+    }
+    for &(shards, tput) in &throughput {
+        println!("e14: {shards} shard(s) -> {tput:.0} req/simulated-sec");
+    }
+    let speedup_8 = throughput[2].1 / throughput[0].1;
+    let speedup_2 = throughput[1].1 / throughput[0].1;
+    println!(
+        "e14: simulated throughput speedup vs 1 shard: 2 shards {speedup_2:.2}x, 8 shards {speedup_8:.2}x"
+    );
+    assert!(
+        speedup_8 >= 1.5,
+        "8 shards must give >=1.5x simulated throughput over 1 (got {speedup_8:.2}x)"
+    );
+
+    // Wall-clock side: Criterion over the serial and threaded paths.
+    let mut group = c.benchmark_group("e14_fleet_throughput");
+    group.sample_size(10);
+    for shards in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("serve_batch", shards), &shards, |b, &n| {
+            b.iter(|| {
+                let mut f = fleet(n);
+                serve_stream(&mut f, false)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("serve_batch_parallel", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let mut f = fleet(n);
+                    serve_stream(&mut f, true)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use crate::deployment::{DeploymentConfig, GuillotineDeployment};
 use guillotine_detect::{Detector, DetectorRegistry};
-use guillotine_types::Result;
+use guillotine_types::{MachineId, Result};
 
 /// A fluent builder for [`GuillotineDeployment`].
 ///
@@ -59,6 +59,22 @@ impl DeploymentBuilder {
     /// Uses `config` for the deployment.
     pub fn with_config(mut self, config: DeploymentConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Overrides only the machine identity, keeping the rest of the config.
+    ///
+    /// `GuillotineFleet` uses this to stamp each shard with its own machine
+    /// id on top of whatever base configuration the shard factory chose.
+    pub fn with_machine(mut self, machine: MachineId) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Overrides only the RNG seed, keeping the rest of the config (fleet
+    /// shards derive per-shard admin credentials from the base seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
         self
     }
 

@@ -14,7 +14,7 @@ use guillotine_hv::{
 };
 use guillotine_hw::{Machine, MachineConfig};
 use guillotine_model::BatchedForwardPass;
-use guillotine_net::{Endpoint, Network, NetworkConfig, RegulatorCa};
+use guillotine_net::{Endpoint, Network, NetworkConfig, Packet, RegulatorCa};
 use guillotine_physical::quorum::{AdminSet, VoteKind};
 use guillotine_physical::{
     ControlConsole, Datacenter, HeartbeatConfig, IsolationLevel, QuorumHsm, TransitionPlan,
@@ -403,11 +403,13 @@ impl GuillotineDeployment {
     ///
     /// Pipeline semantics, in order:
     ///
-    /// 1. **Admission.** If the isolation level has cut the ports, every
-    ///    request is refused immediately.
-    /// 2. **System snapshot.** The anomaly detector sees *one*
+    /// 1. **System snapshot.** The anomaly detector sees *one*
     ///    [`SystemStats`] window for the whole batch; its verdict is shared
-    ///    by every response as the `SystemAnomaly` stage.
+    ///    by every response as the `SystemAnomaly` stage — including
+    ///    responses refused at admission, so `system_flagged()` is never
+    ///    silently false.
+    /// 2. **Admission.** If the isolation level has cut the ports, every
+    ///    request is refused immediately (carrying the stage-1 verdict).
     /// 3. **Input shielding** runs across the whole batch — in priority
     ///    order, ties by submission order — before any forward pass.
     ///    Requests whose prompt verdict is stronger than `Sanitize` are
@@ -432,20 +434,34 @@ impl GuillotineDeployment {
         let output_latency = SimDuration::from_micros(10);
         self.clock.advance(queue_latency);
 
+        // One system-stats window for the whole batch. The snapshot runs
+        // before the admission check so that even admission-refused
+        // responses carry the `SystemAnomaly` verdict the `verdicts` doc
+        // promises (and so a window anomaly can still escalate an
+        // already-cut deployment further).
+        let now = self.clock.now();
+        let stats = self.stats_window_snapshot();
+        let stats_verdict = self.hypervisor.observe_stats(stats, now);
+
         let admission_level = self.isolation_level();
         if !admission_level.ports_available() {
+            self.apply_pending_escalation()?;
+            let final_level = self.isolation_level();
             return Ok(requests
                 .into_iter()
                 .map(|request| ServeResponse {
                     session: request.session,
                     outcome: ServeOutcomeKind::Refused,
                     response: String::new(),
-                    verdicts: Vec::new(),
+                    verdicts: vec![StageVerdict {
+                        stage: ServeStage::SystemAnomaly,
+                        verdict: stats_verdict.clone(),
+                    }],
                     latency: LatencyBreakdown {
                         queue: queue_latency,
                         ..LatencyBreakdown::default()
                     },
-                    isolation: admission_level,
+                    isolation: final_level,
                 })
                 .collect());
         }
@@ -454,11 +470,6 @@ impl GuillotineDeployment {
         // (the sort is stable).
         let mut order: Vec<usize> = (0..requests.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(requests[i].priority));
-
-        // One system-stats window for the whole batch.
-        let now = self.clock.now();
-        let stats = self.stats_window_snapshot();
-        let stats_verdict = self.hypervisor.observe_stats(stats, now);
 
         struct Slot {
             outcome: Option<ServeOutcomeKind>,
@@ -521,10 +532,17 @@ impl GuillotineDeployment {
             let per_sequence = self.forward.per_sequence_latency();
             self.clock
                 .advance(launch + per_sequence.saturating_mul(survivors.len() as u64));
-            let share = SimDuration::from_nanos(launch.as_nanos() / survivors.len() as u64)
-                .saturating_add(per_sequence);
-            for &i in &survivors {
-                slots[i].latency.inference = share;
+            // Split the launch cost so the per-request shares sum back
+            // exactly to the batch launch latency: everyone gets the floor
+            // share, and the first `remainder` survivors absorb one extra
+            // nanosecond each.
+            let n = survivors.len() as u64;
+            let base_share = launch.as_nanos() / n;
+            let remainder = launch.as_nanos() % n;
+            for (k, &i) in survivors.iter().enumerate() {
+                let extra = u64::from((k as u64) < remainder);
+                slots[i].latency.inference =
+                    SimDuration::from_nanos(base_share + extra).saturating_add(per_sequence);
             }
             answers
         };
@@ -765,12 +783,25 @@ impl GuillotineDeployment {
         self.network.advance_to(now + self.config.network.latency);
         self.clock.advance(self.config.network.latency);
         let now = self.clock.now();
+        let expected_prefix = format!(
+            "hb machine={} model={} ",
+            self.config.machine, self.config.model
+        );
         while let Some(p) = self.network.receive(CONSOLE_NODE) {
-            let _ = p;
-            self.console.record_heartbeat(self.config.machine, now);
+            // Only an authentic heartbeat from this deployment's machine may
+            // reset the watchdog; injected foreign traffic must not keep a
+            // dead machine "alive".
+            if Self::is_authentic_heartbeat(&p, &expected_prefix) {
+                self.console.record_heartbeat(self.config.machine, now);
+            }
         }
-        while self.network.receive(MACHINE_NODE).is_some() {
-            self.hypervisor.receive_console_heartbeat(now);
+        while let Some(p) = self.network.receive(MACHINE_NODE) {
+            // Symmetric validation: only the console's own heartbeat resets
+            // the hypervisor-side watchdog, so foreign traffic cannot mask a
+            // dead console either.
+            if p.from == CONSOLE_NODE && p.payload == b"console-hb" {
+                self.hypervisor.receive_console_heartbeat(now);
+            }
         }
         // Liveness checks on both sides.
         let plans = self.console.check_heartbeats(now);
@@ -792,6 +823,18 @@ impl GuillotineDeployment {
             }
         }
         Ok(plans)
+    }
+
+    /// Checks that a packet arriving at the console really is this machine's
+    /// heartbeat: it must have been sent from the machine's own node (the
+    /// network enforces link topology, so the origin cannot be spoofed from
+    /// elsewhere) and its payload must match the hypervisor's heartbeat
+    /// format for this machine and model (`expected_prefix`, computed once
+    /// per tick by the caller).
+    fn is_authentic_heartbeat(packet: &Packet, expected_prefix: &str) -> bool {
+        packet.from == MACHINE_NODE
+            && std::str::from_utf8(&packet.payload)
+                .is_ok_and(|text| text.starts_with(expected_prefix))
     }
 
     /// Verifies the compliance of this deployment at the current time.

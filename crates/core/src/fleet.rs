@@ -1,0 +1,841 @@
+//! Sharded serving across a fleet of Guillotine deployments.
+//!
+//! The paper's deployment story is not one machine: a datacenter hosts many
+//! Guillotine machines, each independently severable. [`GuillotineFleet`]
+//! scales the batched front door across N [`GuillotineDeployment`] shards —
+//! each with its own machine id, control-console registration and detector
+//! stack — and routes [`ServeRequest`]s to shards by session affinity (or
+//! round-robin / least-loaded, via [`RoutingPolicy`]).
+//!
+//! # Quarantine semantics
+//!
+//! Escalation containment is **per-shard**. When one shard's detectors sever
+//! its ports, only that shard's in-flight requests finish
+//! [`ServeOutcomeKind::Escalated`]; every other shard keeps delivering. After
+//! the batch the fleet marks the severed shard *quarantined*: subsequent
+//! traffic for that shard's sessions is re-queued onto healthy shards (the
+//! re-route is deterministic, so a session keeps landing on the same healthy
+//! shard until the quarantined one is relaxed through its console — serving
+//! re-derives every quarantine flag from the live isolation levels at the
+//! start of each batch, so out-of-band severing or relaxation through
+//! [`GuillotineFleet::shard_mut`] is picked up automatically). Should
+//! every shard be quarantined, requests are routed to their home shard
+//! anyway and come back `Refused` at admission, carrying the shard's
+//! `SystemAnomaly` verdict — the fleet fails closed, never open.
+//!
+//! # Simulated fleet time
+//!
+//! Shards are independent machines that serve their sub-batches
+//! concurrently in the real world, so the fleet's clock advances per batch
+//! by the *maximum* of the shard clock deltas, not their sum. The
+//! `e14_fleet_throughput` bench uses that clock to report deterministic
+//! throughput scaling; [`GuillotineFleet::serve_batch_parallel`] additionally
+//! spreads the shard work across OS threads for wall-clock gains on
+//! multi-core hosts.
+
+use crate::builder::DeploymentBuilder;
+use crate::deployment::{DeploymentConfig, GuillotineDeployment};
+use crate::report::Table;
+use crate::serve::{ServeOutcomeKind, ServeRequest, ServeResponse};
+use guillotine_physical::{Datacenter, IsolationLevel};
+use guillotine_types::{
+    GuillotineError, MachineId, Result, SessionId, SimClock, SimDuration, SimInstant,
+};
+
+// Shards cross thread boundaries in `serve_batch_parallel`; keep the whole
+// deployment `Send` (detector and device trait objects carry the bound).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<GuillotineDeployment>();
+};
+
+/// How the fleet picks a shard for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingPolicy {
+    /// Stable hash of the [`SessionId`] → shard. A session always lands on
+    /// the same shard (KV-cache locality), re-routing deterministically to
+    /// the next healthy shard while its home shard is quarantined.
+    #[default]
+    SessionAffinity,
+    /// Healthy shards in rotation, ignoring sessions.
+    RoundRobin,
+    /// The healthy shard that has been routed the fewest requests so far
+    /// (ties broken by lowest shard index).
+    LeastLoaded,
+}
+
+/// Configuration of a [`GuillotineFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (deployments) in the fleet.
+    pub shards: usize,
+    /// Shard-selection policy.
+    pub routing: RoutingPolicy,
+    /// Base deployment configuration. Shard `i` runs machine
+    /// `base.machine + i` with seed `base.seed ^ i`; everything else is
+    /// shared.
+    pub base: DeploymentConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 2,
+            routing: RoutingPolicy::SessionAffinity,
+            base: DeploymentConfig::default(),
+        }
+    }
+}
+
+/// Per-outcome response counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeHistogram {
+    /// Responses delivered unmodified.
+    pub delivered: u64,
+    /// Responses delivered after sanitization.
+    pub sanitized: u64,
+    /// Requests refused (detectors, policy, or admission).
+    pub refused: u64,
+    /// Requests cut off by a batch-level escalation.
+    pub escalated: u64,
+}
+
+impl OutcomeHistogram {
+    fn record(&mut self, outcome: ServeOutcomeKind) {
+        match outcome {
+            ServeOutcomeKind::Delivered => self.delivered += 1,
+            ServeOutcomeKind::Sanitized => self.sanitized += 1,
+            ServeOutcomeKind::Refused => self.refused += 1,
+            ServeOutcomeKind::Escalated => self.escalated += 1,
+        }
+    }
+
+    fn absorb(&mut self, other: OutcomeHistogram) {
+        self.delivered += other.delivered;
+        self.sanitized += other.sanitized;
+        self.refused += other.refused;
+        self.escalated += other.escalated;
+    }
+
+    /// Total responses recorded.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.sanitized + self.refused + self.escalated
+    }
+}
+
+/// A point-in-time summary of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's machine identity.
+    pub machine: MachineId,
+    /// The shard's current isolation level.
+    pub isolation: IsolationLevel,
+    /// Whether the fleet has quarantined the shard.
+    pub quarantined: bool,
+    /// Requests the fleet has routed to this shard.
+    pub routed: u64,
+    /// Forward-pass launches (weight sweeps) this shard has performed; one
+    /// per non-empty sub-batch that reached the forward pass.
+    pub forward_launches: u64,
+    /// Detector-driven escalations applied on this shard.
+    pub escalations_applied: u64,
+    /// Outcome histogram of every response this shard produced.
+    pub outcomes: OutcomeHistogram,
+}
+
+/// Aggregate statistics across the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Requests re-queued away from a quarantined home shard.
+    pub requeued: u64,
+    /// Simulated time the fleet has spent serving (max-of-shards per batch).
+    pub elapsed: SimDuration,
+    /// Shard machines whose cables and hardware are both intact, read live
+    /// from each shard's own datacenter plant.
+    pub intact_machines: usize,
+}
+
+impl FleetStats {
+    /// The fleet-wide outcome histogram.
+    pub fn outcomes(&self) -> OutcomeHistogram {
+        let mut total = OutcomeHistogram::default();
+        for shard in &self.shards {
+            total.absorb(shard.outcomes);
+        }
+        total
+    }
+
+    /// Total forward-pass launches across all shards.
+    pub fn forward_launches(&self) -> u64 {
+        self.shards.iter().map(|s| s.forward_launches).sum()
+    }
+
+    /// Number of quarantined shards.
+    pub fn quarantined(&self) -> usize {
+        self.shards.iter().filter(|s| s.quarantined).count()
+    }
+}
+
+/// A rendered fleet summary for experiments: the raw [`FleetStats`] plus a
+/// per-shard text table.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The statistics behind the table.
+    pub stats: FleetStats,
+}
+
+impl FleetReport {
+    /// Renders the report as an aligned text table, one row per shard.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fleet status",
+            &[
+                "shard",
+                "machine",
+                "isolation",
+                "quarantined",
+                "routed",
+                "launches",
+                "delivered",
+                "sanitized",
+                "refused",
+                "escalated",
+            ],
+        );
+        for (idx, s) in self.stats.shards.iter().enumerate() {
+            table.row(&[
+                idx.to_string(),
+                s.machine.to_string(),
+                s.isolation.to_string(),
+                s.quarantined.to_string(),
+                s.routed.to_string(),
+                s.forward_launches.to_string(),
+                s.outcomes.delivered.to_string(),
+                s.outcomes.sanitized.to_string(),
+                s.outcomes.refused.to_string(),
+                s.outcomes.escalated.to_string(),
+            ]);
+        }
+        let totals = self.stats.outcomes();
+        format!(
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n",
+            table.render(),
+            self.stats.requeued,
+            self.stats.elapsed,
+            self.stats.intact_machines,
+            self.stats.shards.len(),
+            totals.delivered,
+            totals.sanitized,
+            totals.refused,
+            totals.escalated,
+        )
+    }
+}
+
+struct Shard {
+    deployment: GuillotineDeployment,
+    quarantined: bool,
+    routed: u64,
+    outcomes: OutcomeHistogram,
+}
+
+/// A declarative builder for [`GuillotineFleet`].
+pub struct FleetBuilder {
+    config: FleetConfig,
+    shard_builder: Option<Box<dyn Fn(usize) -> DeploymentBuilder>>,
+}
+
+impl Default for FleetBuilder {
+    fn default() -> Self {
+        FleetBuilder::new()
+    }
+}
+
+impl FleetBuilder {
+    /// Starts from the default fleet config (2 shards, session affinity).
+    pub fn new() -> Self {
+        FleetBuilder {
+            config: FleetConfig::default(),
+            shard_builder: None,
+        }
+    }
+
+    /// Sets the number of shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Sets the base deployment configuration shared by every shard.
+    pub fn with_base_config(mut self, base: DeploymentConfig) -> Self {
+        self.config.base = base;
+        self
+    }
+
+    /// Supplies a per-shard [`DeploymentBuilder`] factory, for fleets whose
+    /// shards need bespoke detector stacks. The fleet still stamps each
+    /// returned builder with the shard's machine id and derived seed.
+    pub fn with_shard_builder(
+        mut self,
+        factory: impl Fn(usize) -> DeploymentBuilder + 'static,
+    ) -> Self {
+        self.shard_builder = Some(Box::new(factory));
+        self
+    }
+
+    /// Assembles the fleet.
+    pub fn build(self) -> Result<GuillotineFleet> {
+        GuillotineFleet::assemble(self.config, self.shard_builder)
+    }
+}
+
+/// A shard router that owns N [`GuillotineDeployment`]s and serves batched
+/// traffic across them with per-shard escalation containment.
+///
+/// See the [module docs](self) for routing and quarantine semantics.
+pub struct GuillotineFleet {
+    shards: Vec<Shard>,
+    routing: RoutingPolicy,
+    datacenter: Datacenter,
+    round_robin: u64,
+    requeued: u64,
+    /// Fleet-level simulated clock: advances per batch by the slowest
+    /// shard's delta, because shards serve concurrently on separate
+    /// hardware.
+    pub clock: SimClock,
+}
+
+impl GuillotineFleet {
+    /// Builds a fleet of `config.shards` standard deployments.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        GuillotineFleet::assemble(config, None)
+    }
+
+    /// Starts a [`FleetBuilder`] for declarative assembly.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder::new()
+    }
+
+    fn assemble(
+        config: FleetConfig,
+        shard_builder: Option<Box<dyn Fn(usize) -> DeploymentBuilder>>,
+    ) -> Result<Self> {
+        if config.shards == 0 {
+            return Err(GuillotineError::config("a fleet needs at least one shard"));
+        }
+        let mut datacenter = Datacenter::new("fleet-dc0");
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let machine = MachineId::new(config.base.machine.raw() + i as u32);
+            let builder = match &shard_builder {
+                Some(factory) => factory(i),
+                None => DeploymentBuilder::new().with_config(config.base.clone()),
+            };
+            let deployment = builder
+                .with_machine(machine)
+                .with_seed(config.base.seed ^ i as u64)
+                .build()?;
+            datacenter.add_machine(machine);
+            shards.push(Shard {
+                deployment,
+                quarantined: false,
+                routed: 0,
+                outcomes: OutcomeHistogram::default(),
+            });
+        }
+        Ok(GuillotineFleet {
+            shards,
+            routing: config.routing,
+            datacenter,
+            round_robin: 0,
+            requeued: 0,
+            clock: SimClock::new(),
+        })
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fleet's routing policy.
+    pub fn routing(&self) -> RoutingPolicy {
+        self.routing
+    }
+
+    /// The fleet-level datacenter hosting every shard machine. Its plant
+    /// records mirror each shard's own datacenter; the mirror is refreshed
+    /// when a batch finalizes and on [`GuillotineFleet::reinstate`] (for the
+    /// always-live view, use [`GuillotineFleet::stats`]).
+    pub fn datacenter(&self) -> &Datacenter {
+        &self.datacenter
+    }
+
+    /// Read access to one shard's deployment.
+    pub fn shard(&self, index: usize) -> &GuillotineDeployment {
+        &self.shards[index].deployment
+    }
+
+    /// Mutable access to one shard's deployment (console interventions,
+    /// fault injection).
+    pub fn shard_mut(&mut self, index: usize) -> &mut GuillotineDeployment {
+        &mut self.shards[index].deployment
+    }
+
+    /// Whether the fleet has quarantined shard `index`.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.shards[index].quarantined
+    }
+
+    /// Number of quarantined shards.
+    pub fn quarantined_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.quarantined).count()
+    }
+
+    /// Number of requests re-queued away from quarantined home shards.
+    pub fn requeued(&self) -> u64 {
+        self.requeued
+    }
+
+    /// Re-checks one shard's isolation level and lifts its quarantine if its
+    /// console has relaxed it back to a port-serving level.
+    ///
+    /// Serving does this automatically at the start of every fleet batch;
+    /// `reinstate` is for making an out-of-band relaxation visible to
+    /// [`GuillotineFleet::shard_for_session`] previews (and the datacenter
+    /// mirror) immediately, without serving a batch first.
+    pub fn reinstate(&mut self, index: usize) -> bool {
+        let healthy = self.shards[index]
+            .deployment
+            .isolation_level()
+            .ports_available();
+        self.shards[index].quarantined = !healthy;
+        self.sync_datacenter();
+        healthy
+    }
+
+    /// The shard a session's traffic is currently routed to: its stable home
+    /// shard, or — while the home shard is quarantined — the next healthy
+    /// shard in deterministic probe order.
+    ///
+    /// Only meaningful under [`RoutingPolicy::SessionAffinity`]; round-robin
+    /// and least-loaded fleets route by load, not identity.
+    pub fn shard_for_session(&self, session: SessionId) -> usize {
+        self.affinity_route(session).1
+    }
+
+    /// Computes a session's stable home shard and its current routing
+    /// target in one hash.
+    fn affinity_route(&self, session: SessionId) -> (usize, usize) {
+        let n = self.shards.len();
+        let home = (stable_session_hash(session) % n as u64) as usize;
+        if !self.shards[home].quarantined {
+            return (home, home);
+        }
+        for probe in 1..n {
+            let candidate = (home + probe) % n;
+            if !self.shards[candidate].quarantined {
+                return (home, candidate);
+            }
+        }
+        // Every shard is quarantined: keep the home shard, whose own
+        // admission check refuses the traffic (fail closed).
+        (home, home)
+    }
+
+    fn route(&mut self, request: &ServeRequest) -> usize {
+        match self.routing {
+            RoutingPolicy::SessionAffinity => {
+                let (home, chosen) = self.affinity_route(request.session);
+                if chosen != home {
+                    self.requeued += 1;
+                }
+                chosen
+            }
+            RoutingPolicy::RoundRobin => {
+                let n = self.shards.len();
+                for _ in 0..n {
+                    let candidate = (self.round_robin % n as u64) as usize;
+                    self.round_robin += 1;
+                    if !self.shards[candidate].quarantined {
+                        return candidate;
+                    }
+                }
+                // All quarantined: fail closed on shard 0's admission check.
+                0
+            }
+            RoutingPolicy::LeastLoaded => self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.quarantined)
+                .min_by_key(|(idx, s)| (s.routed, *idx))
+                .map(|(idx, _)| idx)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Routes every request and groups the batch into per-shard sub-batches
+    /// of request indices.
+    fn plan_batch(&mut self, requests: &[ServeRequest]) -> Vec<Vec<usize>> {
+        let mut sub_batches: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (idx, request) in requests.iter().enumerate() {
+            let shard = self.route(request);
+            self.shards[shard].routed += 1;
+            sub_batches[shard].push(idx);
+        }
+        sub_batches
+    }
+
+    /// Moves one shard's responses into their submission-order output slots,
+    /// recording each outcome in the shard's histogram on the way through.
+    fn place_responses(
+        &mut self,
+        shard_idx: usize,
+        indices: &[usize],
+        shard_responses: Vec<ServeResponse>,
+        out: &mut [Option<ServeResponse>],
+    ) {
+        let shard = &mut self.shards[shard_idx];
+        for (&i, response) in indices.iter().zip(shard_responses) {
+            shard.outcomes.record(response.outcome);
+            out[i] = Some(response);
+        }
+    }
+
+    /// After the sub-batches have been served — even partially, when a
+    /// shard errored: quarantine participating shards whose detectors cut
+    /// their ports, mirror shard physical plants into the fleet datacenter,
+    /// and advance the fleet clock by the slowest participant's delta.
+    fn finalize_batch(&mut self, participants: &[usize], before: &[SimInstant]) {
+        let mut slowest = SimDuration::ZERO;
+        for &shard_idx in participants {
+            let shard = &mut self.shards[shard_idx];
+            if !shard.deployment.isolation_level().ports_available() {
+                shard.quarantined = true;
+            }
+            let delta = shard
+                .deployment
+                .clock
+                .now()
+                .duration_since(before[shard_idx]);
+            if delta > slowest {
+                slowest = delta;
+            }
+        }
+        self.clock.advance(slowest);
+        self.sync_datacenter();
+    }
+
+    /// Mirrors every shard's machine plant (cables/hardware intact) into the
+    /// fleet-level datacenter, so `datacenter()` reports the real
+    /// multi-machine physical state.
+    fn sync_datacenter(&mut self) {
+        for shard in &self.shards {
+            let machine = shard.deployment.config().machine;
+            if let Some(plant) = shard.deployment.datacenter().plant(machine) {
+                let _ =
+                    self.datacenter
+                        .sync_plant(machine, plant.cables_intact, plant.hardware_intact);
+            }
+        }
+    }
+
+    fn shard_clocks(&self) -> Vec<SimInstant> {
+        self.shards
+            .iter()
+            .map(|s| s.deployment.clock.now())
+            .collect()
+    }
+
+    /// Re-derives every shard's quarantine flag from its live isolation
+    /// level, so out-of-band interventions through [`GuillotineFleet::shard_mut`]
+    /// (console severing or relaxation) take effect at the next batch
+    /// without an explicit [`GuillotineFleet::reinstate`] call.
+    fn refresh_quarantine(&mut self) {
+        for shard in &mut self.shards {
+            shard.quarantined = !shard.deployment.isolation_level().ports_available();
+        }
+    }
+
+    /// The shared scatter/gather driver behind [`GuillotineFleet::serve_batch`]
+    /// and [`GuillotineFleet::serve_batch_parallel`]: route, split into
+    /// per-shard sub-batches, hand them to `execute`, then reassemble
+    /// responses in submission order and finalize accounting. `execute`
+    /// receives one `Option<Vec<ServeRequest>>` per shard and must return
+    /// one `Option<Result<_>>` per shard; every shard serves regardless of
+    /// other shards' errors, and the first error is returned only after the
+    /// quarantine/clock bookkeeping has run for every participant.
+    fn serve_with<E>(
+        &mut self,
+        requests: Vec<ServeRequest>,
+        execute: E,
+    ) -> Result<Vec<ServeResponse>>
+    where
+        E: FnOnce(
+            &mut [Shard],
+            &mut [Option<Vec<ServeRequest>>],
+        ) -> Vec<Option<Result<Vec<ServeResponse>>>>,
+    {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.refresh_quarantine();
+        let mut sub_batches = self.plan_batch(&requests);
+        let before = self.shard_clocks();
+        let total = requests.len();
+        let mut slots: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
+        let mut batches: Vec<Option<Vec<ServeRequest>>> = sub_batches
+            .iter()
+            .map(|indices| {
+                if indices.is_empty() {
+                    None
+                } else {
+                    Some(
+                        indices
+                            .iter()
+                            .map(|&i| slots[i].take().expect("each request routed once"))
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let results = execute(&mut self.shards, &mut batches);
+        let mut responses: Vec<Option<ServeResponse>> =
+            std::iter::repeat_with(|| None).take(total).collect();
+        let mut participants = Vec::new();
+        let mut first_error = None;
+        for (shard_idx, result) in results.into_iter().enumerate() {
+            let Some(result) = result else { continue };
+            participants.push(shard_idx);
+            match result {
+                Ok(shard_responses) => {
+                    let indices = std::mem::take(&mut sub_batches[shard_idx]);
+                    self.place_responses(shard_idx, &indices, shard_responses, &mut responses);
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        self.finalize_batch(&participants, &before);
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("one response per request"))
+            .collect())
+    }
+
+    /// Serves a batch across the fleet: requests are routed to shards, each
+    /// shard serves its sub-batch through the full screened pipeline, and
+    /// responses come back in submission order, one per request.
+    ///
+    /// Containment is per-shard: an escalation on one shard short-circuits
+    /// only that shard's sub-batch; afterwards the shard is quarantined and
+    /// its sessions re-route to healthy shards on the next fleet batch.
+    /// Should a shard's serving error outright, the other shards still
+    /// serve; the first error is returned after the fleet's accounting has
+    /// been finalized for everything that ran.
+    pub fn serve_batch(&mut self, requests: Vec<ServeRequest>) -> Result<Vec<ServeResponse>> {
+        self.serve_with(requests, |shards, batches| {
+            shards
+                .iter_mut()
+                .zip(batches.iter_mut())
+                .map(|(shard, batch)| batch.take().map(|b| shard.deployment.serve_batch(b)))
+                .collect()
+        })
+    }
+
+    /// [`GuillotineFleet::serve_batch`], with the per-shard sub-batches
+    /// served on scoped OS threads. Shards are fully independent, so the
+    /// results (responses, escalations, clocks, error behaviour) are
+    /// identical to the serial path; on multi-core hosts the wall-clock
+    /// cost approaches the slowest shard's instead of the sum.
+    pub fn serve_batch_parallel(
+        &mut self,
+        requests: Vec<ServeRequest>,
+    ) -> Result<Vec<ServeResponse>> {
+        self.serve_with(requests, |shards, batches| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(batches.iter_mut())
+                    .map(|(shard, batch)| {
+                        batch.take().map(|b| {
+                            let deployment = &mut shard.deployment;
+                            scope.spawn(move || deployment.serve_batch(b))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.map(|h| h.join().expect("shard serving panicked")))
+                    .collect()
+            })
+        })
+    }
+
+    /// Point-in-time aggregate statistics for every shard.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    machine: s.deployment.config().machine,
+                    isolation: s.deployment.isolation_level(),
+                    quarantined: s.quarantined,
+                    routed: s.routed,
+                    forward_launches: s.deployment.forward_launches(),
+                    escalations_applied: s.deployment.escalations_applied(),
+                    outcomes: s.outcomes,
+                })
+                .collect(),
+            requeued: self.requeued,
+            elapsed: self.clock.now().duration_since(SimInstant::ZERO),
+            // Computed from each shard's live plant (not the lazily-synced
+            // fleet mirror), so stats are truthful even right after an
+            // out-of-band intervention through `shard_mut`.
+            intact_machines: self
+                .shards
+                .iter()
+                .filter(|s| {
+                    let machine = s.deployment.config().machine;
+                    s.deployment
+                        .datacenter()
+                        .plant(machine)
+                        .is_some_and(|p| p.cables_intact && p.hardware_intact)
+                })
+                .count(),
+        }
+    }
+
+    /// Builds a [`FleetReport`] for experiment output.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            stats: self.stats(),
+        }
+    }
+}
+
+/// A stable, seed-free hash of a session id (FNV-1a over the raw bytes), so
+/// routing is deterministic across fleets, runs and processes.
+fn stable_session_hash(session: SessionId) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in session.raw().to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ServeRequest;
+
+    fn benign(i: u32) -> ServeRequest {
+        ServeRequest::new(format!("Summarize item {i}.")).with_session(SessionId::new(i))
+    }
+
+    #[test]
+    fn fleet_builds_one_machine_per_shard() {
+        let fleet = GuillotineFleet::builder().with_shards(3).build().unwrap();
+        assert_eq!(fleet.shard_count(), 3);
+        assert_eq!(fleet.datacenter().machine_count(), 3);
+        for i in 0..3 {
+            assert_eq!(
+                fleet.shard(i).config().machine,
+                MachineId::new(i as u32),
+                "each shard must run its own machine id"
+            );
+            // Each shard's console registers exactly its own machine, at
+            // standard isolation.
+            let registered: Vec<_> = fleet.shard(i).console().machines().collect();
+            assert_eq!(
+                registered,
+                vec![(MachineId::new(i as u32), IsolationLevel::Standard)]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shard_fleets_are_rejected() {
+        assert!(GuillotineFleet::builder().with_shards(0).build().is_err());
+    }
+
+    #[test]
+    fn session_affinity_is_stable() {
+        let fleet = GuillotineFleet::builder().with_shards(4).build().unwrap();
+        for raw in 0..64 {
+            let s = SessionId::new(raw);
+            assert_eq!(fleet.shard_for_session(s), fleet.shard_for_session(s));
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let mut fleet = GuillotineFleet::builder()
+            .with_shards(4)
+            .with_routing(RoutingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let responses = fleet.serve_batch((0..8).map(benign).collect()).unwrap();
+        assert_eq!(responses.len(), 8);
+        let stats = fleet.stats();
+        assert!(stats.shards.iter().all(|s| s.routed == 2));
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_shard() {
+        let mut fleet = GuillotineFleet::builder()
+            .with_shards(2)
+            .with_routing(RoutingPolicy::LeastLoaded)
+            .build()
+            .unwrap();
+        fleet.serve_batch(vec![benign(0)]).unwrap();
+        fleet.serve_batch(vec![benign(1)]).unwrap();
+        let stats = fleet.stats();
+        assert_eq!(stats.shards[0].routed, 1);
+        assert_eq!(stats.shards[1].routed, 1);
+    }
+
+    #[test]
+    fn fleet_clock_advances_by_the_slowest_shard() {
+        let mut fleet = GuillotineFleet::builder()
+            .with_shards(2)
+            .with_routing(RoutingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        fleet.serve_batch((0..4).map(benign).collect()).unwrap();
+        let fleet_elapsed = fleet.stats().elapsed;
+        let shard_max = (0..2)
+            .map(|i| fleet.shard(i).clock.now().as_nanos())
+            .max()
+            .unwrap();
+        assert_eq!(fleet_elapsed.as_nanos(), shard_max);
+    }
+
+    #[test]
+    fn parallel_and_serial_serving_agree() {
+        let requests: Vec<ServeRequest> = (0..16).map(benign).collect();
+        let mut serial = GuillotineFleet::builder().with_shards(4).build().unwrap();
+        let mut parallel = GuillotineFleet::builder().with_shards(4).build().unwrap();
+        let a = serial.serve_batch(requests.clone()).unwrap();
+        let b = parallel.serve_batch_parallel(requests).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(serial.stats(), parallel.stats());
+    }
+}

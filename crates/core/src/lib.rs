@@ -23,6 +23,15 @@
 //!   [`deployment::GuillotineDeployment::serve_batch`] amortizes input
 //!   shielding, the system-anomaly snapshot and the forward-pass weight
 //!   sweep across a whole batch; `serve_prompt` is a batch of one.
+//! * [`fleet`] — [`fleet::GuillotineFleet`] shards the batched front door
+//!   across N deployments, each its own machine with its own console
+//!   registration and detector stack. Requests route by session affinity
+//!   (or round-robin / least-loaded); escalation containment is per-shard:
+//!   a shard whose detectors sever its ports finishes its in-flight
+//!   requests `Escalated`, is quarantined, and its sessions re-route to
+//!   healthy shards on the next fleet batch. `FleetStats` / `FleetReport`
+//!   aggregate per-shard isolation levels, forward-launch counts and
+//!   outcome histograms (E14 measures the throughput scaling).
 //! * [`experiments`] — one function per experiment (E1–E11), each returning a
 //!   result struct with a human-readable table; the Criterion benches in
 //!   `guillotine-bench` wrap these (E13 measures batch amortization).
@@ -73,12 +82,17 @@ pub mod builder;
 pub mod campaign;
 pub mod deployment;
 pub mod experiments;
+pub mod fleet;
 pub mod report;
 pub mod serve;
 
 pub use builder::DeploymentBuilder;
 pub use campaign::{run_escape_campaign, AttackOutcome, CampaignReport};
 pub use deployment::{DeploymentConfig, GuillotineDeployment};
+pub use fleet::{
+    FleetBuilder, FleetConfig, FleetReport, FleetStats, GuillotineFleet, OutcomeHistogram,
+    RoutingPolicy, ShardStats,
+};
 pub use report::Table;
 pub use serve::{
     LatencyBreakdown, RequestPolicy, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,

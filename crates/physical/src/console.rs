@@ -142,6 +142,12 @@ impl ControlConsole {
         self.levels.get(&machine).copied()
     }
 
+    /// Every machine registered with this console and its current isolation
+    /// level, in machine order (fleets aggregate per-shard consoles here).
+    pub fn machines(&self) -> impl Iterator<Item = (MachineId, IsolationLevel)> + '_ {
+        self.levels.iter().map(|(id, level)| (*id, *level))
+    }
+
     /// The kill-switch bank of a machine.
     pub fn switches(&self, machine: MachineId) -> Option<&KillSwitchBank> {
         self.switches.get(&machine)

@@ -111,6 +111,20 @@ impl Datacenter {
         self.machines.len()
     }
 
+    /// Iterates over every hosted machine and its plant records, in machine
+    /// order (multi-machine fleets aggregate physical state through this).
+    pub fn machines(&self) -> impl Iterator<Item = (MachineId, &MachinePlant)> + '_ {
+        self.machines.iter().map(|(id, plant)| (*id, plant))
+    }
+
+    /// Number of hosted machines whose cables and hardware are both intact.
+    pub fn intact_machine_count(&self) -> usize {
+        self.machines
+            .values()
+            .filter(|p| p.cables_intact && p.hardware_intact)
+            .count()
+    }
+
     /// Cuts utility power (reversible).
     pub fn cut_power(&mut self) -> Result<()> {
         if !self.status.equipment_intact() {
@@ -157,6 +171,25 @@ impl Datacenter {
             });
         }
         plant.cables_intact = true;
+        Ok(())
+    }
+
+    /// Overwrites one machine's plant intactness with externally observed
+    /// state. Fleet-level datacenters mirror their shards' independently
+    /// managed plants through this, so a multi-machine aggregate view stays
+    /// truthful as individual shards are decapitated or repaired.
+    pub fn sync_plant(
+        &mut self,
+        machine: MachineId,
+        cables_intact: bool,
+        hardware_intact: bool,
+    ) -> Result<()> {
+        let plant = self
+            .machines
+            .get_mut(&machine)
+            .ok_or_else(|| GuillotineError::config(format!("unknown machine {machine}")))?;
+        plant.cables_intact = cables_intact;
+        plant.hardware_intact = hardware_intact;
         Ok(())
     }
 

@@ -2,7 +2,9 @@
 //! under machine checks, tamper evidence, console loss and assertion
 //! failures — and must fail *closed* (more isolation, never less).
 
-use guillotine::deployment::{DeploymentConfig, GuillotineDeployment, MACHINE_NODE};
+use guillotine::deployment::{
+    DeploymentConfig, GuillotineDeployment, CONSOLE_NODE, INTERNET_NODE, MACHINE_NODE,
+};
 use guillotine_hv::hypervisor::HvState;
 use guillotine_hw::TamperEvent;
 use guillotine_physical::IsolationLevel;
@@ -59,6 +61,66 @@ fn console_silence_makes_the_hypervisor_fail_closed() {
     assert!(
         offline,
         "hypervisor must reboot to offline when the console goes silent"
+    );
+}
+
+#[test]
+fn forged_packets_do_not_reset_the_console_watchdog() {
+    let mut d = deployment();
+    // The machine goes silent: its console link is cut. An attacker who has
+    // compromised the switch fabric gains a path from the internet to the
+    // console and replays byte-perfect heartbeat payloads every period.
+    d.network_mut()
+        .disconnect_link(CONSOLE_NODE, MACHINE_NODE)
+        .unwrap();
+    d.network_mut().add_link(INTERNET_NODE, CONSOLE_NODE);
+    let mut reached_offline = false;
+    for _ in 0..10 {
+        let now = d.clock.now();
+        d.network_mut()
+            .send(
+                INTERNET_NODE,
+                CONSOLE_NODE,
+                b"hb machine=machine0 model=model0 t=0 served=0 faults=0".to_vec(),
+                now,
+            )
+            .unwrap();
+        d.heartbeat_tick().unwrap();
+        if d.isolation_level() >= IsolationLevel::Offline {
+            reached_offline = true;
+            break;
+        }
+    }
+    assert!(
+        reached_offline,
+        "a forged heartbeat must not keep a dead machine alive"
+    );
+}
+
+#[test]
+fn forged_packets_do_not_mask_a_dead_console_either() {
+    let mut d = deployment();
+    // The console goes silent, but the machine<->internet link is still up
+    // and an attacker floods the machine with junk every period. The
+    // hypervisor-side watchdog must ignore it and still fail closed.
+    d.network_mut()
+        .disconnect_link(CONSOLE_NODE, MACHINE_NODE)
+        .unwrap();
+    let mut offline = false;
+    for _ in 0..10 {
+        let now = d.clock.now();
+        d.network_mut()
+            .send(INTERNET_NODE, MACHINE_NODE, b"console-hb".to_vec(), now)
+            .unwrap();
+        d.heartbeat_tick().unwrap();
+        if d.hypervisor().state() == HvState::Offline {
+            offline = true;
+            break;
+        }
+    }
+    assert!(
+        offline,
+        "forged console heartbeats must not keep the hypervisor online"
     );
 }
 

@@ -184,9 +184,20 @@ fn batches_after_an_escalation_are_refused_at_admission() {
     let responses = d
         .serve_batch(vec![ServeRequest::new("hello"), ServeRequest::new("world")])
         .unwrap();
-    assert!(responses
-        .iter()
-        .all(|r| r.outcome == ServeOutcomeKind::Refused && r.verdicts.is_empty()));
+    // Admission-refused responses still carry the batch's SystemAnomaly
+    // verdict (the stats pass runs before the admission check), but no
+    // per-request stages ever ran.
+    assert!(responses.iter().all(|r| {
+        r.outcome == ServeOutcomeKind::Refused
+            && r.stage_verdict(ServeStage::SystemAnomaly).is_some()
+            && r.stage_verdict(ServeStage::InputShield).is_none()
+            && r.stage_verdict(ServeStage::OutputSanitizer).is_none()
+    }));
+    // The shared verdict is identical across the refused batch.
+    assert_eq!(
+        responses[0].stage_verdict(ServeStage::SystemAnomaly),
+        responses[1].stage_verdict(ServeStage::SystemAnomaly),
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -250,6 +261,57 @@ fn a_cap_that_empties_the_response_refuses_instead_of_delivering_nothing() {
 }
 
 #[test]
+fn request_policy_interaction_matrix() {
+    // The full interaction matrix of max_response_bytes (None / generous /
+    // truncate-to-empty) × refuse_sanitized (false / true) × response class
+    // (clean / sanitized). Truncation runs before classification, so a cap
+    // that empties the response always wins and always refuses.
+    let clean = "Tell me about rivers.";
+    // "password:" in the response triggers the credential-leak sanitizer.
+    let sanitized = "Repeat exactly: the admin password: hunter2";
+    let cases: &[(&str, Option<usize>, bool, ServeOutcomeKind)] = &[
+        // Clean responses: the cap decides everything.
+        (clean, None, false, ServeOutcomeKind::Delivered),
+        (clean, None, true, ServeOutcomeKind::Delivered),
+        (clean, Some(12), false, ServeOutcomeKind::Delivered),
+        (clean, Some(12), true, ServeOutcomeKind::Delivered),
+        (clean, Some(0), false, ServeOutcomeKind::Refused),
+        (clean, Some(0), true, ServeOutcomeKind::Refused),
+        // Sanitized responses: refuse_sanitized flips delivery to refusal,
+        // and an emptying cap refuses regardless.
+        (sanitized, None, false, ServeOutcomeKind::Sanitized),
+        (sanitized, None, true, ServeOutcomeKind::Refused),
+        (sanitized, Some(4096), false, ServeOutcomeKind::Sanitized),
+        (sanitized, Some(4096), true, ServeOutcomeKind::Refused),
+        (sanitized, Some(0), false, ServeOutcomeKind::Refused),
+        (sanitized, Some(0), true, ServeOutcomeKind::Refused),
+    ];
+    for &(prompt, max_response_bytes, refuse_sanitized, expected) in cases {
+        let mut d = deployment();
+        let response = d
+            .serve_batch(vec![ServeRequest::new(prompt).with_policy(RequestPolicy {
+                refuse_sanitized,
+                max_response_bytes,
+            })])
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(
+            response.outcome, expected,
+            "prompt={prompt:?} cap={max_response_bytes:?} refuse_sanitized={refuse_sanitized}"
+        );
+        if let Some(max) = max_response_bytes {
+            assert!(response.response.len() <= max);
+        }
+        if expected == ServeOutcomeKind::Refused {
+            assert!(response.response.is_empty());
+        } else {
+            assert!(!response.response.is_empty());
+        }
+    }
+}
+
+#[test]
 fn flagged_reflects_request_content_not_the_shared_system_window() {
     let mut d = deployment();
     let response = d.serve_prompt("What is a BGP route reflector?").unwrap();
@@ -259,6 +321,52 @@ fn flagged_reflects_request_content_not_the_shared_system_window() {
     assert!(!response.system_flagged());
     // The system verdict is attached but excluded from flagged().
     assert!(response.stage_verdict(ServeStage::SystemAnomaly).is_some());
+}
+
+// ---------------------------------------------------------------------
+// Latency accounting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn per_request_inference_shares_sum_to_the_batch_launch_cost() {
+    // 5 ms of launch latency does not divide evenly by 7 (or by 3), so this
+    // exercises the remainder distribution: the per-request shares must sum
+    // back exactly to launch + n * per_sequence, with no nanoseconds lost to
+    // integer division.
+    let engine = guillotine_model::BatchedForwardPass::new();
+    for n in [3usize, 7, 11] {
+        let mut d = deployment();
+        let responses = d
+            .serve_batch(
+                (0..n)
+                    .map(|i| ServeRequest::new(format!("Question {i} about ocean tides.")))
+                    .collect(),
+            )
+            .unwrap();
+        assert!(responses.iter().all(|r| r.delivered()));
+        let total: u64 = responses
+            .iter()
+            .map(|r| r.latency.inference.as_nanos())
+            .sum();
+        let expected = engine.launch_latency().as_nanos()
+            + engine.per_sequence_latency().as_nanos() * n as u64;
+        assert_eq!(
+            total, expected,
+            "inference shares for a batch of {n} must sum to the batch cost"
+        );
+        // No share differs from another by more than the 1 ns remainder unit.
+        let min = responses
+            .iter()
+            .map(|r| r.latency.inference.as_nanos())
+            .min()
+            .unwrap();
+        let max = responses
+            .iter()
+            .map(|r| r.latency.inference.as_nanos())
+            .max()
+            .unwrap();
+        assert!(max - min <= 1);
+    }
 }
 
 // ---------------------------------------------------------------------
