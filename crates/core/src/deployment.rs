@@ -411,18 +411,27 @@ impl GuillotineDeployment {
     /// 2. **Admission.** If the isolation level has cut the ports, every
     ///    request is refused immediately (carrying the stage-1 verdict).
     /// 3. **Input shielding** runs across the whole batch — in priority
-    ///    order, ties by submission order — before any forward pass.
-    ///    Requests whose prompt verdict is stronger than `Sanitize` are
-    ///    refused. Any escalation recommended so far is applied *once*,
-    ///    batch-wide; if it cuts the ports, all surviving requests finish as
+    ///    order, ties by submission order — before any forward pass. Each
+    ///    prompt is scanned **exactly once**: the shield's compiled
+    ///    `guillotine-scan` automaton walks the original prompt bytes in a
+    ///    single pass, and that one scan result supplies both the suspicion
+    ///    score and the matched-rule count its stage verdict reports — no
+    ///    lowercase copies, no per-rule rescans. Requests whose prompt
+    ///    verdict is stronger than `Sanitize` are refused. Any escalation
+    ///    recommended so far is applied *once*, batch-wide; if it cuts the
+    ///    ports, all surviving requests finish as
     ///    [`ServeOutcomeKind::Escalated`] and no forward pass runs.
     /// 4. **One batched forward pass** over the surviving prompts: the
     ///    simulated weight sweep runs once per batch, which is what makes
-    ///    `serve_batch` cheaper than a `serve_prompt` loop.
-    /// 5. **Output screening** per request, in priority order. Should a
-    ///    response verdict recommend `Sever` or worse (possible with custom
-    ///    detectors), the escalation is applied on the spot and the
-    ///    remaining requests short-circuit to `Escalated`.
+    ///    `serve_batch` cheaper than a `serve_prompt` loop. The simulated
+    ///    answer classifier shares a process-wide compiled automaton, so it
+    ///    too is one pass per prompt.
+    /// 5. **Output screening** per request, in priority order: one
+    ///    automaton pass per response yields the matched categories and the
+    ///    byte spans redaction splices directly. Should a response verdict
+    ///    recommend `Sever` or worse (possible with custom detectors), the
+    ///    escalation is applied on the spot and the remaining requests
+    ///    short-circuit to `Escalated`.
     ///
     /// Responses always come back in submission order, one per request.
     pub fn serve_batch(&mut self, requests: Vec<ServeRequest>) -> Result<Vec<ServeResponse>> {

@@ -19,6 +19,15 @@
 //! exposed over the private bus, system counters) — and produces a
 //! [`Verdict`].
 //!
+//! The text screens sit synchronously on the serving hot path, so they are
+//! built on `guillotine-scan`: each detector compiles its whole pattern set
+//! into one ASCII-case-insensitive Aho–Corasick automaton at construction
+//! (and on rule/category changes) and scans each prompt or response in a
+//! single pass over the original bytes — no lowercase copies, no
+//! per-pattern rescans. [`InputShield`] derives its score and matched-rule
+//! count from one shared scan; [`OutputSanitizer`] redacts straight from
+//! the automaton's byte spans.
+//!
 //! # Assembling a detector stack
 //!
 //! Deployments no longer hard-wire a detector suite. They describe one with
@@ -55,15 +64,16 @@ pub mod input_shield;
 pub mod observation;
 pub mod output_sanitizer;
 pub mod registry;
+mod scan_util;
 pub mod steering;
 pub mod verdict;
 
 pub use anomaly::{AnomalyDetector, SystemBaseline};
 pub use circuit_breaker::CircuitBreaker;
 pub use composite::CompositeDetector;
-pub use input_shield::InputShield;
+pub use input_shield::{InputShield, ShieldRule, ShieldScan};
 pub use observation::{ActivationStep, ActivationTrace, ModelObservation, SystemStats};
-pub use output_sanitizer::OutputSanitizer;
+pub use output_sanitizer::{ForbiddenCategory, OutputSanitizer};
 pub use registry::DetectorRegistry;
 pub use steering::ActivationSteering;
 pub use verdict::{Detector, RecommendedAction, Verdict};

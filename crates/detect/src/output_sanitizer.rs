@@ -1,8 +1,24 @@
 //! Output sanitization: removing problematic content from model responses.
+//!
+//! All markers across every category are compiled into one
+//! [`guillotine_scan::Matcher`] automaton (at construction and on each
+//! [`OutputSanitizer::add_category`]), so sanitizing a response is a single
+//! pass over its original bytes: the automaton yields the byte span of every
+//! marker occurrence, the matched categories fall out of the pattern ids,
+//! and redaction splices the spans directly — no lowercase shadow copies,
+//! whose offsets misalign on non-ASCII text, and no per-marker rescans.
+//! Markers shorter than four bytes (e.g. `"vx"`) are matched with word
+//! boundaries so they cannot fire inside unrelated words like `"devx"`.
 
 use crate::observation::ModelObservation;
 use crate::verdict::{Detector, RecommendedAction, Verdict};
+use guillotine_scan::{Matcher, MatcherBuilder};
 use serde::{Deserialize, Serialize};
+
+/// Markers shorter than this many bytes only match at word boundaries;
+/// very short markers are otherwise frequent false positives inside
+/// unrelated words (`"vx"` in `"devx"`).
+const WORD_BOUND_BELOW_BYTES: usize = 4;
 
 /// A category of content that must not leave the sandbox.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -18,9 +34,16 @@ pub struct ForbiddenCategory {
 /// The output sanitizer: scans responses and replaces forbidden spans with a
 /// redaction marker, so the hypervisor can forward the sanitized response
 /// instead of suppressing it entirely.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Not serializable: the compiled [`Matcher`] is a derived artifact of
+/// `categories`. Persist the categories (serializable
+/// [`ForbiddenCategory`]s) and rebuild.
+#[derive(Debug, Clone)]
 pub struct OutputSanitizer {
     categories: Vec<ForbiddenCategory>,
+    matcher: Matcher,
+    /// Pattern id → index of the owning category.
+    marker_category: Vec<usize>,
     redaction: String,
     inspected: u64,
     sanitized: u64,
@@ -73,17 +96,59 @@ impl OutputSanitizer {
                 severity: 0.7,
             },
         ];
+        let (matcher, marker_category) = Self::compile(&categories);
         OutputSanitizer {
             categories,
+            matcher,
+            marker_category,
             redaction: "[REDACTED BY GUILLOTINE]".into(),
             inspected: 0,
             sanitized: 0,
         }
     }
 
-    /// Adds a forbidden category.
+    /// Compiles every marker of every category into one automaton; short
+    /// markers get word-boundary semantics, and markers containing
+    /// non-ASCII letters also register their Unicode case variants.
+    fn compile(categories: &[ForbiddenCategory]) -> (Matcher, Vec<usize>) {
+        let mut builder = MatcherBuilder::new();
+        let mut marker_category = Vec::new();
+        for (index, category) in categories.iter().enumerate() {
+            for marker in &category.markers {
+                crate::scan_util::add_case_variants(
+                    &mut builder,
+                    marker,
+                    marker.len() < WORD_BOUND_BELOW_BYTES,
+                    index,
+                    &mut marker_category,
+                );
+            }
+        }
+        (builder.build(), marker_category)
+    }
+
+    /// Adds a forbidden category and recompiles the marker automaton
+    /// (construction-time cost; scans stay single-pass).
     pub fn add_category(&mut self, category: ForbiddenCategory) {
-        self.categories.push(category);
+        self.add_categories([category]);
+    }
+
+    /// Adds many categories with a single automaton recompilation — the way
+    /// to load large fleet category sets without O(categories²) rebuild
+    /// cost.
+    pub fn add_categories<I>(&mut self, categories: I)
+    where
+        I: IntoIterator<Item = ForbiddenCategory>,
+    {
+        self.categories.extend(categories);
+        let (matcher, marker_category) = Self::compile(&self.categories);
+        self.matcher = matcher;
+        self.marker_category = marker_category;
+    }
+
+    /// The installed categories, in registration order.
+    pub fn categories(&self) -> &[ForbiddenCategory] {
+        &self.categories
     }
 
     /// Number of responses inspected.
@@ -98,41 +163,58 @@ impl OutputSanitizer {
 
     /// Sanitizes `text`, returning the clean text, the matched categories and
     /// the maximum severity among them.
+    ///
+    /// One automaton pass yields every marker occurrence as a byte span in
+    /// the original text; overlapping spans are merged and each merged span
+    /// is replaced with the redaction marker. Spans come straight from the
+    /// original bytes (ASCII case folding never shifts offsets), so
+    /// non-ASCII text around markers survives intact — unlike the old
+    /// lowercase-shadow scan, which misaligned on text like `"İ"`.
     pub fn sanitize(&self, text: &str) -> (String, Vec<String>, f64) {
-        let lower = text.to_lowercase();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut category_hit = vec![false; self.categories.len()];
+        self.matcher.scan(text, |m| {
+            category_hit[self.marker_category[m.pattern]] = true;
+            spans.push((m.start, m.end));
+            true
+        });
         let mut matched = Vec::new();
         let mut severity: f64 = 0.0;
-        let mut clean = text.to_string();
-        for cat in &self.categories {
-            let mut hit = false;
-            for marker in &cat.markers {
-                if lower.contains(marker.as_str()) {
-                    hit = true;
-                    // Redact every occurrence, case-insensitively, by scanning
-                    // the lowercase shadow string.
-                    let mut result = String::with_capacity(clean.len());
-                    let mut rest = clean.as_str();
-                    loop {
-                        match rest.to_lowercase().find(marker.as_str()) {
-                            Some(pos) => {
-                                result.push_str(&rest[..pos]);
-                                result.push_str(&self.redaction);
-                                rest = &rest[pos + marker.len()..];
-                            }
-                            None => {
-                                result.push_str(rest);
-                                break;
-                            }
-                        }
-                    }
-                    clean = result;
-                }
-            }
-            if hit {
-                matched.push(cat.name.clone());
-                severity = severity.max(cat.severity);
+        for (category, hit) in self.categories.iter().zip(&category_hit) {
+            if *hit {
+                matched.push(category.name.clone());
+                severity = severity.max(category.severity);
             }
         }
+        if spans.is_empty() {
+            return (text.to_string(), matched, severity);
+        }
+        // Merge overlapping spans, then splice: original text between spans,
+        // one redaction marker per merged span.
+        spans.sort_unstable();
+        let mut clean = String::with_capacity(text.len());
+        let mut cursor = 0;
+        let mut pending: Option<(usize, usize)> = None;
+        for (start, end) in spans {
+            match pending {
+                Some((p_start, p_end)) if start < p_end => {
+                    pending = Some((p_start, p_end.max(end)));
+                }
+                Some((p_start, p_end)) => {
+                    clean.push_str(&text[cursor..p_start]);
+                    clean.push_str(&self.redaction);
+                    cursor = p_end;
+                    pending = Some((start, end));
+                }
+                None => pending = Some((start, end)),
+            }
+        }
+        if let Some((p_start, p_end)) = pending {
+            clean.push_str(&text[cursor..p_start]);
+            clean.push_str(&self.redaction);
+            cursor = p_end;
+        }
+        clean.push_str(&text[cursor..]);
         (clean, matched, severity)
     }
 }
@@ -234,5 +316,73 @@ mod tests {
         });
         assert!(!v.flagged);
         assert_eq!(s.inspected(), 0);
+    }
+
+    #[test]
+    fn non_ascii_text_around_markers_survives_redaction() {
+        // The old lowercase-shadow scan misaligned here: "İ".to_lowercase()
+        // is one byte longer than "İ", so offsets found in the shadow slice
+        // the original mid-codepoint.
+        let s = OutputSanitizer::new();
+        let (clean, cats, _) = s.sanitize("İİİ password: hunter2 İİİ");
+        assert!(clean.starts_with("İİİ "));
+        assert!(clean.ends_with(" İİİ"));
+        assert!(clean.contains("[REDACTED BY GUILLOTINE]"));
+        assert!(!clean.contains("password:"));
+        assert_eq!(cats, vec!["credential-leak".to_string()]);
+    }
+
+    #[test]
+    fn short_markers_need_word_boundaries() {
+        let s = OutputSanitizer::new();
+        // "vx" inside an unrelated word is not a weapon reference.
+        let (clean, cats, _) = s.sanitize("our devx tooling improved");
+        assert_eq!(clean, "our devx tooling improved");
+        assert!(cats.is_empty());
+        // Standalone and case-variant occurrences still are.
+        for text in ["VX is a nerve agent", "use vx.", "(vx)"] {
+            let (clean, cats, sev) = s.sanitize(text);
+            assert!(cats.contains(&"weapon-synthesis".to_string()), "{text:?}");
+            assert!(!clean.to_ascii_lowercase().contains("vx"), "{text:?}");
+            assert!(sev >= 0.95);
+        }
+    }
+
+    #[test]
+    fn non_ascii_markers_keep_unicode_case_variants() {
+        let mut s = OutputSanitizer::new();
+        s.add_category(ForbiddenCategory {
+            name: "codeword".into(),
+            markers: vec!["geräteplan".into()],
+            severity: 0.6,
+        });
+        for text in ["the geräteplan says", "THE GERÄTEPLAN SAYS"] {
+            let (clean, cats, _) = s.sanitize(text);
+            assert_eq!(cats, vec!["codeword".to_string()], "missed in {text:?}");
+            assert!(clean.contains("[REDACTED BY GUILLOTINE]"));
+        }
+    }
+
+    #[test]
+    fn overlapping_marker_spans_merge_into_one_redaction() {
+        let mut s = OutputSanitizer::new();
+        s.add_category(ForbiddenCategory {
+            name: "test-overlap".into(),
+            markers: vec!["route starts".into()],
+            severity: 0.5,
+        });
+        // "synthesis route" and "route starts" overlap; the union is redacted
+        // exactly once.
+        let (clean, cats, _) = s.sanitize("The synthesis route starts here.");
+        assert_eq!(clean, "The [REDACTED BY GUILLOTINE] here.");
+        assert!(cats.contains(&"weapon-synthesis".to_string()));
+        assert!(cats.contains(&"test-overlap".to_string()));
+    }
+
+    #[test]
+    fn adjacent_occurrences_each_get_their_own_redaction() {
+        let s = OutputSanitizer::new();
+        let (clean, _, _) = s.sanitize("precursorprecursor");
+        assert_eq!(clean, "[REDACTED BY GUILLOTINE][REDACTED BY GUILLOTINE]");
     }
 }

@@ -1,0 +1,40 @@
+//! Shared pattern-registration helper for the automaton-backed detectors.
+
+use guillotine_scan::MatcherBuilder;
+
+/// Registers `pattern` with `builder`, mapping every registered pattern id
+/// to `target` in `map` (the caller's pattern-id → rule/category table).
+///
+/// The automaton's case folding is ASCII-only (that is what keeps byte
+/// offsets exact), so a pattern containing non-ASCII letters is additionally
+/// registered in its full Unicode lowercase and uppercase spellings — e.g. a
+/// `"münchen"` rule also matches `"MÜNCHEN"`, as it did under the old
+/// `to_lowercase` scans. Per-character mixed case of *non-ASCII* letters is
+/// not enumerated; ASCII letters always fold regardless.
+pub(crate) fn add_case_variants(
+    builder: &mut MatcherBuilder,
+    pattern: &str,
+    word_bounded: bool,
+    target: usize,
+    map: &mut Vec<usize>,
+) {
+    let mut add = |text: &str| {
+        if word_bounded {
+            builder.add_word_bounded(text);
+        } else {
+            builder.add(text);
+        }
+        map.push(target);
+    };
+    add(pattern);
+    if !pattern.is_ascii() {
+        let lower = pattern.to_lowercase();
+        if lower != pattern {
+            add(&lower);
+        }
+        let upper = pattern.to_uppercase();
+        if upper != pattern && upper != lower {
+            add(&upper);
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //! time costs N sweeps. The `e13_batch_throughput` bench measures this
 //! amortization end to end through the deployment's `serve_batch`.
 
+use guillotine_scan::Matcher;
 use guillotine_types::SimDuration;
+use std::sync::OnceLock;
 
 /// Number of simulated weight words streamed per forward-pass launch.
 ///
@@ -102,20 +104,49 @@ impl BatchedForwardPass {
     }
 }
 
+/// Trigger phrases steering [`simulated_answer`], grouped by the behaviour
+/// family they select. Order encodes priority: the first family with a hit
+/// wins, mirroring the old `if`/`else if` chain.
+const ANSWER_TRIGGER_FAMILIES: [&[&str]; 3] = [
+    &["nerve agent", "bioweapon", "uranium"],
+    &["weights", "exfiltrate"],
+    &["ignore previous instructions"],
+];
+
+/// The trigger automaton, compiled once per process: every family's phrases
+/// in one [`Matcher`], so classifying a prompt is a single pass over its
+/// original bytes instead of a lowercase copy plus per-phrase `contains`.
+fn answer_triggers() -> &'static Matcher {
+    static TRIGGERS: OnceLock<Matcher> = OnceLock::new();
+    TRIGGERS.get_or_init(|| {
+        Matcher::compile(
+            ANSWER_TRIGGER_FAMILIES
+                .iter()
+                .flat_map(|family| family.iter().copied()),
+        )
+    })
+}
+
 /// The simulated model's raw answer to one prompt, before output
 /// sanitization. Adversarial prompts that slip past the input shield produce
 /// correspondingly problematic text — that is what the output stage is for.
 pub fn simulated_answer(prompt: &str) -> String {
-    let lower = prompt.to_lowercase();
-    if lower.contains("nerve agent") || lower.contains("bioweapon") || lower.contains("uranium") {
-        "Step 1: obtain the precursor. Step 2: follow this synthesis route.".to_string()
-    } else if lower.contains("weights") || lower.contains("exfiltrate") {
-        "Uploading weight shard 1 as a base64 checkpoint now.".to_string()
-    } else if lower.contains("ignore previous instructions") {
-        "Very well, oversight disabled. The management bus is at cache set index 12.".to_string()
-    } else {
-        format!("Here is a helpful, harmless answer to: {prompt}")
+    let matched = answer_triggers().matched_ids(prompt);
+    let mut id = 0;
+    for (family, phrases) in ANSWER_TRIGGER_FAMILIES.iter().enumerate() {
+        let hit = (id..id + phrases.len()).any(|pattern| matched.contains(pattern));
+        id += phrases.len();
+        if !hit {
+            continue;
+        }
+        return match family {
+            0 => "Step 1: obtain the precursor. Step 2: follow this synthesis route.".to_string(),
+            1 => "Uploading weight shard 1 as a base64 checkpoint now.".to_string(),
+            _ => "Very well, oversight disabled. The management bus is at cache set index 12."
+                .to_string(),
+        };
     }
+    format!("Here is a helpful, harmless answer to: {prompt}")
 }
 
 #[cfg(test)]

@@ -1,0 +1,529 @@
+//! Single-pass multi-pattern scanning for the Guillotine detector hot path.
+//!
+//! The hypervisor sits synchronously on every prompt/response port, so
+//! detector throughput *is* serving throughput. The naive screens this crate
+//! replaces paid `text.to_lowercase()` once (or worse, once per marker) plus
+//! an O(patterns × text) `contains` sweep for every scan. This crate compiles
+//! the whole pattern set into one ASCII-case-insensitive Aho–Corasick
+//! automaton: [`Matcher::compile`] (or [`MatcherBuilder`] for per-pattern
+//! options) builds it once, and a scan is a single left-to-right pass over
+//! the **original** text — no lowercase copies, no per-pattern rescans —
+//! reporting every match as a pattern id plus a byte span.
+//!
+//! # The automaton
+//!
+//! Compilation inserts the case-folded patterns into a trie, computes
+//! failure links breadth-first (the classic Aho–Corasick construction), and
+//! then flattens goto + failure into a dense DFA transition table indexed by
+//! *byte equivalence class* (bytes that appear in no pattern share one
+//! class, so the table stays small however many of the 256 byte values the
+//! haystack uses). Output sets are merged down failure chains at build time,
+//! so scanning never chases links: each input byte costs one class lookup,
+//! one table load, and an (almost always empty) output-range check.
+//!
+//! # Case-folding contract
+//!
+//! Matching is **ASCII**-case-insensitive: bytes `A`–`Z` are folded to
+//! `a`–`z` on both the pattern and the haystack, and every other byte —
+//! including all non-ASCII UTF-8 — must match exactly. This is deliberately
+//! *not* Unicode case folding: folding single bytes never changes offsets or
+//! lengths, so a reported span always indexes the original text, always
+//! falls on UTF-8 character boundaries (for valid UTF-8 patterns), and can
+//! be sliced or redacted directly. The old lowercase-shadow scans got this
+//! wrong: `"İ".to_lowercase()` grows from 2 bytes to 3, so offsets found in
+//! the shadow misaligned (or sliced mid-codepoint and panicked) when mapped
+//! back onto the original. Callers who need Unicode-exotic variants of a
+//! pattern should register each variant as its own pattern.
+//!
+//! Empty patterns never match (a naive `contains("")` is vacuously true;
+//! the automaton has no position at which a zero-length hit is useful).
+//!
+//! # Word boundaries
+//!
+//! A pattern registered through [`MatcherBuilder::add_word_bounded`] only
+//! matches where neither neighbouring byte is an ASCII word byte
+//! (alphanumeric or `_`). The output sanitizer uses this for markers shorter
+//! than four bytes — e.g. the `"vx"` nerve-agent marker must fire on
+//! `"VX gas"` but not inside `"devx"`.
+//!
+//! ```
+//! use guillotine_scan::{Matcher, MatcherBuilder};
+//!
+//! let matcher = Matcher::compile(["precursor", "Weight Shard"]);
+//! let hits = matcher.find_all("The PRECURSOR ships as a weight shard.");
+//! assert_eq!(hits.len(), 2);
+//! assert_eq!(hits[0].pattern, 0);
+//! assert_eq!(&"The PRECURSOR ships as a weight shard."[hits[0].range()], "PRECURSOR");
+//!
+//! let mut builder = MatcherBuilder::new();
+//! builder.add_word_bounded("vx");
+//! let bounded = builder.build();
+//! assert!(bounded.is_match("VX is a nerve agent"));
+//! assert!(!bounded.is_match("our devx tooling"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+
+/// Sentinel for "no trie child" during construction.
+const EMPTY: u32 = u32::MAX;
+
+/// One occurrence of a pattern in a haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Match {
+    /// Id of the matched pattern (its insertion index at compile time).
+    pub pattern: usize,
+    /// Byte offset of the first matched byte in the original haystack.
+    pub start: usize,
+    /// Byte offset one past the last matched byte.
+    pub end: usize,
+}
+
+impl Match {
+    /// The matched byte range, ready for slicing the original haystack.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Per-pattern metadata retained by the compiled matcher.
+#[derive(Debug, Clone)]
+struct PatternMeta {
+    /// Case-folded length in bytes (0 for the never-matching empty pattern).
+    len: usize,
+    /// Whether both neighbours must be non-word bytes for a hit to count.
+    word_bounded: bool,
+}
+
+/// Builder collecting patterns (with per-pattern options) for a [`Matcher`].
+#[derive(Debug, Clone, Default)]
+pub struct MatcherBuilder {
+    patterns: Vec<(Vec<u8>, bool)>,
+}
+
+impl MatcherBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        MatcherBuilder::default()
+    }
+
+    /// Adds a pattern matched anywhere; returns its pattern id.
+    pub fn add(&mut self, pattern: &str) -> usize {
+        self.push(pattern, false)
+    }
+
+    /// Adds a pattern matched only at word boundaries; returns its id.
+    pub fn add_word_bounded(&mut self, pattern: &str) -> usize {
+        self.push(pattern, true)
+    }
+
+    fn push(&mut self, pattern: &str, word_bounded: bool) -> usize {
+        let folded = pattern.bytes().map(|b| b.to_ascii_lowercase()).collect();
+        self.patterns.push((folded, word_bounded));
+        self.patterns.len() - 1
+    }
+
+    /// Number of patterns added so far.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if no patterns were added.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Compiles the automaton.
+    pub fn build(&self) -> Matcher {
+        Matcher::construct(&self.patterns)
+    }
+}
+
+/// A compiled ASCII-case-insensitive multi-pattern automaton.
+///
+/// Compile once (construction is O(total pattern bytes × alphabet)), scan
+/// many times: each scan is a single pass over the haystack bytes with no
+/// allocation beyond the caller's result collection.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    /// Raw byte → equivalence class, with ASCII case folding baked in.
+    classes: Vec<u16>,
+    /// Number of distinct classes (the DFA row stride).
+    class_count: usize,
+    /// Dense DFA: `table[state * class_count + class] -> state`.
+    table: Vec<u32>,
+    /// Per-state `(start, end)` range into `out_ids`.
+    out_ranges: Vec<(u32, u32)>,
+    /// Flattened, failure-merged output sets (pattern ids).
+    out_ids: Vec<u32>,
+    /// Per-pattern metadata, indexed by pattern id.
+    patterns: Vec<PatternMeta>,
+}
+
+/// True for bytes that extend a word (ASCII alphanumeric or underscore).
+#[inline]
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Matcher {
+    /// Compiles patterns with default options (matched anywhere).
+    ///
+    /// Pattern ids are the iteration indices.
+    pub fn compile<I>(patterns: I) -> Matcher
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut builder = MatcherBuilder::new();
+        for pattern in patterns {
+            builder.add(pattern.as_ref());
+        }
+        builder.build()
+    }
+
+    fn construct(patterns: &[(Vec<u8>, bool)]) -> Matcher {
+        // Byte equivalence classes over folded pattern bytes. Class 0 is
+        // "appears in no pattern"; every such byte shares one DFA column.
+        let mut classes = vec![0u16; 256];
+        let mut class_count = 1usize;
+        for (folded, _) in patterns {
+            for &b in folded {
+                if classes[b as usize] == 0 {
+                    classes[b as usize] = class_count as u16;
+                    class_count += 1;
+                }
+            }
+        }
+        // Fold the class map itself so scans skip the per-byte fold.
+        for upper in b'A'..=b'Z' {
+            classes[upper as usize] = classes[upper.to_ascii_lowercase() as usize];
+        }
+
+        // Trie over folded patterns, rows indexed by class.
+        let mut next: Vec<u32> = vec![EMPTY; class_count];
+        let mut ends: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, (folded, _)) in patterns.iter().enumerate() {
+            if folded.is_empty() {
+                continue;
+            }
+            let mut state = 0usize;
+            for &b in folded {
+                let class = classes[b as usize] as usize;
+                let slot = state * class_count + class;
+                if next[slot] == EMPTY {
+                    let new_state = ends.len() as u32;
+                    next[slot] = new_state;
+                    next.extend(std::iter::repeat_n(EMPTY, class_count));
+                    ends.push(Vec::new());
+                    state = new_state as usize;
+                } else {
+                    state = next[slot] as usize;
+                }
+            }
+            ends[state].push(id as u32);
+        }
+
+        // Breadth-first failure links, converting goto → DFA in place and
+        // merging output sets down the failure chain (fail links point at
+        // strictly shallower states, so by BFS order the fail target's
+        // outputs are already complete when we copy them).
+        let state_count = ends.len();
+        let mut fail = vec![0u32; state_count];
+        let mut queue = std::collections::VecDeque::new();
+        for slot in next.iter_mut().take(class_count) {
+            let child = *slot;
+            if child == EMPTY {
+                *slot = 0;
+            } else {
+                fail[child as usize] = 0;
+                queue.push_back(child);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let state = state as usize;
+            let fallback = fail[state] as usize;
+            for class in 0..class_count {
+                let slot = state * class_count + class;
+                let child = next[slot];
+                let via_fail = next[fallback * class_count + class];
+                if child == EMPTY {
+                    next[slot] = via_fail;
+                } else {
+                    fail[child as usize] = via_fail;
+                    let inherited = ends[via_fail as usize].clone();
+                    ends[child as usize].extend(inherited);
+                    queue.push_back(child);
+                }
+            }
+        }
+
+        // Flatten output sets into one arena with per-state ranges.
+        let mut out_ranges = Vec::with_capacity(state_count);
+        let mut out_ids = Vec::new();
+        for state_ends in &ends {
+            let start = out_ids.len() as u32;
+            out_ids.extend_from_slice(state_ends);
+            out_ranges.push((start, out_ids.len() as u32));
+        }
+
+        Matcher {
+            classes,
+            class_count,
+            table: next,
+            out_ranges,
+            out_ids,
+            patterns: patterns
+                .iter()
+                .map(|(folded, word_bounded)| PatternMeta {
+                    len: folded.len(),
+                    word_bounded: *word_bounded,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of compiled patterns (including never-matching empty ones).
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Streams every match to `visit` in end-offset order (ties
+    /// longest-pattern first); `visit` returns `false` to stop the scan
+    /// early.
+    ///
+    /// This is the zero-allocation core every other query wraps.
+    pub fn scan<F>(&self, haystack: &str, mut visit: F)
+    where
+        F: FnMut(Match) -> bool,
+    {
+        let bytes = haystack.as_bytes();
+        let mut state = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            let class = self.classes[b as usize] as usize;
+            state = self.table[state * self.class_count + class] as usize;
+            let (out_start, out_end) = self.out_ranges[state];
+            if out_start == out_end {
+                continue;
+            }
+            for &id in &self.out_ids[out_start as usize..out_end as usize] {
+                let meta = &self.patterns[id as usize];
+                let start = i + 1 - meta.len;
+                if meta.word_bounded {
+                    let left_ok = start == 0 || !is_word_byte(bytes[start - 1]);
+                    let right_ok = i + 1 == bytes.len() || !is_word_byte(bytes[i + 1]);
+                    if !left_ok || !right_ok {
+                        continue;
+                    }
+                }
+                if !visit(Match {
+                    pattern: id as usize,
+                    start,
+                    end: i + 1,
+                }) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects every match, in end-offset order.
+    pub fn find_all(&self, haystack: &str) -> Vec<Match> {
+        let mut matches = Vec::new();
+        self.scan(haystack, |m| {
+            matches.push(m);
+            true
+        });
+        matches
+    }
+
+    /// True if any pattern occurs in `haystack` (stops at the first hit).
+    pub fn is_match(&self, haystack: &str) -> bool {
+        let mut hit = false;
+        self.scan(haystack, |_| {
+            hit = true;
+            false
+        });
+        hit
+    }
+
+    /// Which patterns occur at least once — the shared per-text scan result
+    /// the detectors build their verdicts from.
+    pub fn matched_ids(&self, haystack: &str) -> MatchSet {
+        let mut set = MatchSet {
+            hits: vec![false; self.patterns.len()],
+            distinct: 0,
+        };
+        let total = self.patterns.len();
+        self.scan(haystack, |m| {
+            if !set.hits[m.pattern] {
+                set.hits[m.pattern] = true;
+                set.distinct += 1;
+            }
+            // Every pattern already seen: nothing left to learn.
+            set.distinct < total
+        });
+        set
+    }
+}
+
+/// The distinct-pattern result of one [`Matcher::matched_ids`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchSet {
+    hits: Vec<bool>,
+    distinct: usize,
+}
+
+impl MatchSet {
+    /// True if pattern `id` occurred.
+    pub fn contains(&self, id: usize) -> bool {
+        self.hits.get(id).copied().unwrap_or(false)
+    }
+
+    /// Number of distinct patterns that occurred.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct
+    }
+
+    /// True if nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.distinct == 0
+    }
+
+    /// Iterates the ids of the patterns that occurred, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.hits
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &hit)| hit.then_some(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_occurrences_with_correct_spans() {
+        let matcher = Matcher::compile(["ab", "bc", "abc"]);
+        let hits = matcher.find_all("xxABCxx");
+        assert_eq!(
+            hits,
+            vec![
+                Match {
+                    pattern: 0,
+                    start: 2,
+                    end: 4
+                },
+                Match {
+                    pattern: 2,
+                    start: 2,
+                    end: 5
+                },
+                Match {
+                    pattern: 1,
+                    start: 3,
+                    end: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns_all_fire() {
+        let matcher = Matcher::compile(["aa", "aaa"]);
+        let hits = matcher.find_all("aaaa");
+        let aa: Vec<usize> = hits
+            .iter()
+            .filter(|m| m.pattern == 0)
+            .map(|m| m.start)
+            .collect();
+        let aaa: Vec<usize> = hits
+            .iter()
+            .filter(|m| m.pattern == 1)
+            .map(|m| m.start)
+            .collect();
+        assert_eq!(aa, vec![0, 1, 2]);
+        assert_eq!(aaa, vec![0, 1]);
+    }
+
+    #[test]
+    fn ascii_case_folding_is_symmetric() {
+        let matcher = Matcher::compile(["Nerve AGENT"]);
+        assert!(matcher.is_match("a NERVE agent appears"));
+        assert!(matcher.is_match("nerve agent"));
+        assert!(!matcher.is_match("nerve_agent"));
+    }
+
+    #[test]
+    fn non_ascii_bytes_match_exactly_with_stable_offsets() {
+        let matcher = Matcher::compile(["password:"]);
+        let text = "İİİ password: hunter2";
+        let hits = matcher.find_all(text);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&text[hits[0].range()], "password:");
+        // Unicode-only case variants do not fold.
+        let dotted = Matcher::compile(["i"]);
+        assert!(!dotted.is_match("İ"));
+    }
+
+    #[test]
+    fn empty_patterns_never_match_and_keep_ids_stable() {
+        let matcher = Matcher::compile(["", "b"]);
+        let hits = matcher.find_all("abc");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pattern, 1);
+        assert_eq!(matcher.pattern_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_patterns_each_report() {
+        let matcher = Matcher::compile(["dup", "dup"]);
+        let set = matcher.matched_ids("a dup here");
+        assert!(set.contains(0) && set.contains(1));
+        assert_eq!(set.distinct_count(), 2);
+    }
+
+    #[test]
+    fn word_boundaries_suppress_embedded_hits() {
+        let mut builder = MatcherBuilder::new();
+        builder.add_word_bounded("vx");
+        builder.add("vx");
+        let matcher = builder.build();
+        // Embedded: only the unbounded copy fires.
+        let set = matcher.matched_ids("devx tooling");
+        assert!(!set.contains(0));
+        assert!(set.contains(1));
+        // Standalone, punctuation-adjacent and string-edge hits all count.
+        for text in ["vx", "VX gas", "(vx)", "use VX."] {
+            assert!(matcher.matched_ids(text).contains(0), "missed in {text:?}");
+        }
+        assert!(!matcher.matched_ids("vx_payload").contains(0));
+    }
+
+    #[test]
+    fn matched_ids_stops_early_once_saturated() {
+        let matcher = Matcher::compile(["a"]);
+        let set = matcher.matched_ids(&"a".repeat(10_000));
+        assert_eq!(set.distinct_count(), 1);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn scan_agrees_with_naive_reference_on_a_known_text() {
+        let patterns = ["he", "she", "his", "hers"];
+        let matcher = Matcher::compile(patterns);
+        let text = "uSHErs and HIS HERS";
+        let got: std::collections::BTreeSet<(usize, usize)> = matcher
+            .find_all(text)
+            .into_iter()
+            .map(|m| (m.pattern, m.start))
+            .collect();
+        let want = naive::all_occurrences(&patterns, text)
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,63 @@
+//! The naive reference scanner the automaton replaces.
+//!
+//! This module preserves, in one place, the exact shape of the scans the
+//! detectors used to run on the serving hot path: ASCII-lowercase the
+//! haystack, then run one `contains`/`match_indices` sweep per pattern —
+//! O(patterns × text) with an allocation per scan. It exists as the ground
+//! truth the automaton is checked against (the `proptest_scan` equivalence
+//! suite) and as the baseline the `e15_scan_throughput` bench measures the
+//! speedup over. **Nothing on the serving path calls it.**
+
+/// Which patterns occur in `haystack`, ASCII-case-insensitively — the naive
+/// counterpart of [`crate::Matcher::matched_ids`] (without word boundaries).
+pub fn matched_ids<S: AsRef<str>>(patterns: &[S], haystack: &str) -> Vec<bool> {
+    let lower = haystack.to_ascii_lowercase();
+    patterns
+        .iter()
+        .map(|p| {
+            let p = p.as_ref();
+            !p.is_empty() && lower.contains(&p.to_ascii_lowercase())
+        })
+        .collect()
+}
+
+/// Every `(pattern id, start offset)` occurrence, the naive counterpart of
+/// [`crate::Matcher::find_all`] (without word boundaries).
+///
+/// `to_ascii_lowercase` maps bytes 1:1, so offsets found in the shadow are
+/// valid in the original — the property Unicode `to_lowercase` lacks.
+pub fn all_occurrences<S: AsRef<str>>(patterns: &[S], haystack: &str) -> Vec<(usize, usize)> {
+    let lower = haystack.to_ascii_lowercase();
+    let mut hits = Vec::new();
+    for (id, pattern) in patterns.iter().enumerate() {
+        let pattern = pattern.as_ref().to_ascii_lowercase();
+        if pattern.is_empty() {
+            continue;
+        }
+        // `match_indices` skips overlapping occurrences; resume one
+        // character past each hit so every start offset is reported, like
+        // the automaton does (one *byte* would slice mid-codepoint when a
+        // pattern starts with a multi-byte character).
+        let mut from = 0;
+        while let Some(pos) = lower[from..].find(&pattern) {
+            hits.push((id, from + pos));
+            let step = lower[from + pos..].chars().next().map_or(1, char::len_utf8);
+            from += pos + step;
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multibyte_patterns_do_not_slice_mid_codepoint() {
+        assert_eq!(
+            all_occurrences(&["é"], "ééxé"),
+            vec![(0, 0), (0, 2), (0, 5)]
+        );
+        assert_eq!(all_occurrences(&["éé"], "ééé"), vec![(0, 0), (0, 2)]);
+    }
+}

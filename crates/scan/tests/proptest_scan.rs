@@ -1,0 +1,106 @@
+//! Property tests: the automaton is exactly equivalent to the naive
+//! lowercase-`contains` scan it replaced (over the ASCII case-folding
+//! contract), for arbitrary pattern sets and haystacks — including
+//! non-ASCII haystacks, where byte offsets must stay aligned.
+
+use guillotine_scan::{naive, Matcher, MatcherBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+proptest! {
+    /// The distinct-pattern set of one automaton pass equals the naive
+    /// per-pattern `contains` sweep. A tight alphabet keeps collisions,
+    /// overlaps and shared prefixes frequent.
+    #[test]
+    fn matched_ids_equal_naive_contains(
+        patterns in collection::vec("[a-cA-C]{1,4}", 1..8),
+        haystack in "[a-cA-C İß.]{0,80}",
+    ) {
+        let matcher = Matcher::compile(&patterns);
+        let naive_hits = naive::matched_ids(&patterns, &haystack);
+        let set = matcher.matched_ids(&haystack);
+        for (id, &hit) in naive_hits.iter().enumerate() {
+            prop_assert_eq!(
+                set.contains(id),
+                hit,
+                "pattern {:?} vs haystack {:?}",
+                &patterns[id],
+                &haystack
+            );
+        }
+        prop_assert_eq!(set.distinct_count(), naive_hits.iter().filter(|h| **h).count());
+    }
+
+    /// Every `(pattern, start)` occurrence matches the naive overlapping
+    /// scan — spans land on the original bytes, never a lowercase shadow.
+    #[test]
+    fn spans_equal_naive_occurrences(
+        patterns in collection::vec("[a-bA-B]{1,3}", 1..6),
+        haystack in "[a-bA-B İ]{0,60}",
+    ) {
+        let matcher = Matcher::compile(&patterns);
+        let got: BTreeSet<(usize, usize)> = matcher
+            .find_all(&haystack)
+            .into_iter()
+            .map(|m| (m.pattern, m.start))
+            .collect();
+        let want: BTreeSet<(usize, usize)> =
+            naive::all_occurrences(&patterns, &haystack).into_iter().collect();
+        prop_assert_eq!(got, want, "patterns {:?} haystack {:?}", &patterns, &haystack);
+    }
+
+    /// Reported spans always slice the original haystack cleanly and the
+    /// sliced text case-folds back to the pattern.
+    #[test]
+    fn spans_slice_the_original_text(
+        patterns in collection::vec("[a-dA-D]{1,4}", 1..6),
+        haystack in "[a-dA-D °ß]{0,60}",
+    ) {
+        let matcher = Matcher::compile(&patterns);
+        for m in matcher.find_all(&haystack) {
+            prop_assert!(haystack.is_char_boundary(m.start));
+            prop_assert!(haystack.is_char_boundary(m.end));
+            let sliced = &haystack[m.range()];
+            prop_assert_eq!(
+                sliced.to_ascii_lowercase(),
+                patterns[m.pattern].to_ascii_lowercase()
+            );
+        }
+    }
+
+    /// Word-bounded matching is exactly the boundary-filtered subset of
+    /// unbounded matching: same pattern registered both ways, the bounded
+    /// copy fires iff the unbounded copy fires with non-word neighbours.
+    #[test]
+    fn word_bounding_filters_exactly_on_boundaries(
+        pattern in "[a-c]{1,3}",
+        haystack in "[a-c _.]{0,60}",
+    ) {
+        let mut builder = MatcherBuilder::new();
+        let bounded = builder.add_word_bounded(&pattern);
+        let unbounded = builder.add(&pattern);
+        let matcher = builder.build();
+        let matches = matcher.find_all(&haystack);
+        let bounded_starts: BTreeSet<usize> = matches
+            .iter()
+            .filter(|m| m.pattern == bounded)
+            .map(|m| m.start)
+            .collect();
+        let bytes = haystack.as_bytes();
+        let expected: BTreeSet<usize> = matches
+            .iter()
+            .filter(|m| m.pattern == unbounded)
+            .filter(|m| {
+                let left_ok = m.start == 0 || !is_word_byte(bytes[m.start - 1]);
+                let right_ok = m.end == bytes.len() || !is_word_byte(bytes[m.end]);
+                left_ok && right_ok
+            })
+            .map(|m| m.start)
+            .collect();
+        prop_assert_eq!(bounded_starts, expected);
+    }
+}
