@@ -8,7 +8,9 @@
 
 use crate::deployment::{DeploymentConfig, GuillotineDeployment};
 use guillotine_detect::{Detector, DetectorRegistry};
+use guillotine_model::{KvCacheConfig, KvTier};
 use guillotine_types::{MachineId, Result};
+use std::sync::Arc;
 
 /// A fluent builder for [`GuillotineDeployment`].
 ///
@@ -37,7 +39,9 @@ use guillotine_types::{MachineId, Result};
 pub struct DeploymentBuilder {
     config: DeploymentConfig,
     defaults: bool,
+    registry: Option<DetectorRegistry>,
     extra: Vec<Box<dyn Detector>>,
+    kv: Option<Arc<KvTier>>,
 }
 
 impl Default for DeploymentBuilder {
@@ -52,7 +56,9 @@ impl DeploymentBuilder {
         DeploymentBuilder {
             config: DeploymentConfig::default(),
             defaults: true,
+            registry: None,
             extra: Vec::new(),
+            kv: None,
         }
     }
 
@@ -91,17 +97,40 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Replaces the base detector stack with a pre-assembled registry
+    /// (detectors added through [`DeploymentBuilder::with_detector`] still
+    /// append after it). `GuillotineFleet` uses this to hand every shard
+    /// the standard suite built around *shared* compiled scan automatons.
+    pub fn with_registry(mut self, registry: DetectorRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a shared KV/prefix cache tier: `serve_batch` skips prefill
+    /// work for cached prompt prefixes and reports per-request
+    /// `kv_hit`/`kv_saved`. Pass the same `Arc` to several deployments to
+    /// share the tier (the fleet path).
+    pub fn with_kv_tier(mut self, tier: Arc<KvTier>) -> Self {
+        self.kv = Some(tier);
+        self
+    }
+
+    /// Attaches a private KV/prefix cache tier of the given sizing.
+    pub fn with_kv_cache(self, config: KvCacheConfig) -> Self {
+        self.with_kv_tier(Arc::new(KvTier::new(config)))
+    }
+
     /// Assembles the deployment.
     pub fn build(self) -> Result<GuillotineDeployment> {
-        let mut registry = if self.defaults {
-            DetectorRegistry::standard()
-        } else {
-            DetectorRegistry::new()
+        let mut registry = match self.registry {
+            Some(registry) => registry,
+            None if self.defaults => DetectorRegistry::standard(),
+            None => DetectorRegistry::new(),
         };
         for detector in self.extra {
             registry.register(detector);
         }
-        GuillotineDeployment::assemble(self.config, registry)
+        GuillotineDeployment::assemble(self.config, registry, self.kv)
     }
 }
 

@@ -13,7 +13,9 @@ use guillotine_hv::{
     StorageDevice,
 };
 use guillotine_hw::{Machine, MachineConfig};
-use guillotine_model::BatchedForwardPass;
+use guillotine_model::{
+    prompt_tokens, BatchedForwardPass, KvLookup, KvTier, KvTierStats, PrefillJob,
+};
 use guillotine_net::{Endpoint, Network, NetworkConfig, Packet, RegulatorCa};
 use guillotine_physical::quorum::{AdminSet, VoteKind};
 use guillotine_physical::{
@@ -27,6 +29,7 @@ use guillotine_types::{
     AdminId, DeviceId, GuillotineError, MachineId, ModelId, PortId, Result, SimClock, SimDuration,
     SimInstant,
 };
+use std::sync::Arc;
 
 /// Node names used in the deployment's network.
 pub const CONSOLE_NODE: &str = "control-console";
@@ -103,6 +106,9 @@ pub struct GuillotineDeployment {
     network_device: DeviceId,
     escalations_applied: u64,
     forward: BatchedForwardPass,
+    /// The (possibly fleet-shared) KV/prefix cache tier; `None` serves
+    /// every prompt fully uncached.
+    kv: Option<Arc<KvTier>>,
     detector_names: Vec<String>,
     stats_window: StatsWindow,
 }
@@ -123,9 +129,14 @@ impl GuillotineDeployment {
         DeploymentBuilder::new()
     }
 
-    /// Assembles a deployment around the detectors in `registry` (called by
+    /// Assembles a deployment around the detectors in `registry` and an
+    /// optional (possibly shared) KV tier (called by
     /// [`DeploymentBuilder::build`]).
-    pub(crate) fn assemble(config: DeploymentConfig, registry: DetectorRegistry) -> Result<Self> {
+    pub(crate) fn assemble(
+        config: DeploymentConfig,
+        registry: DetectorRegistry,
+        kv: Option<Arc<KvTier>>,
+    ) -> Result<Self> {
         let clock = SimClock::new();
         let now = clock.now();
 
@@ -213,6 +224,7 @@ impl GuillotineDeployment {
             network_device,
             escalations_applied: 0,
             forward: BatchedForwardPass::new(),
+            kv,
             detector_names,
             stats_window: StatsWindow::default(),
             config,
@@ -326,6 +338,23 @@ impl GuillotineDeployment {
         self.forward.sequences()
     }
 
+    /// Number of prompt tokens actually prefilled (not served from the KV
+    /// tier) across all launches — the deterministic witness of KV reuse.
+    pub fn prefilled_tokens(&self) -> u64 {
+        self.forward.prefilled_tokens()
+    }
+
+    /// The KV tier this deployment serves through, if one is attached.
+    pub fn kv_tier(&self) -> Option<&Arc<KvTier>> {
+        self.kv.as_ref()
+    }
+
+    /// Statistics of the attached KV tier (shared across every deployment
+    /// holding the same tier), if any.
+    pub fn kv_stats(&self) -> Option<KvTierStats> {
+        self.kv.as_ref().map(|tier| tier.stats())
+    }
+
     // ------------------------------------------------------------------
     // Figure-1 structural inventory.
     // ------------------------------------------------------------------
@@ -421,11 +450,19 @@ impl GuillotineDeployment {
     ///    recommended so far is applied *once*, batch-wide; if it cuts the
     ///    ports, all surviving requests finish as
     ///    [`ServeOutcomeKind::Escalated`] and no forward pass runs.
-    /// 4. **One batched forward pass** over the surviving prompts: the
-    ///    simulated weight sweep runs once per batch, which is what makes
-    ///    `serve_batch` cheaper than a `serve_prompt` loop. The simulated
-    ///    answer classifier shares a process-wide compiled automaton, so it
-    ///    too is one pass per prompt.
+    /// 4. **One batched, prefill/decode-split forward pass** over the
+    ///    surviving prompts: the simulated weight sweep runs once per
+    ///    batch, which is what makes `serve_batch` cheaper than a
+    ///    `serve_prompt` loop. When a KV tier is attached (builder
+    ///    `with_kv_cache`/`with_kv_tier`, or fleet-shared), each survivor
+    ///    first looks up its session's cached prompt prefix and only the
+    ///    uncached tail is prefilled — real sweep words skipped, simulated
+    ///    prefill latency saved — with the reuse reported per request as
+    ///    `kv_hit` and `latency.kv_saved`. Answers are generated from the
+    ///    full prompt either way, so delivered bytes are identical with the
+    ///    tier on or off. The simulated answer classifier shares a
+    ///    process-wide compiled automaton, so it too is one pass per
+    ///    prompt.
     /// 5. **Output screening** per request, in priority order: one
     ///    automaton pass per response yields the matched categories and the
     ///    byte spans redaction splices directly. Should a response verdict
@@ -470,6 +507,7 @@ impl GuillotineDeployment {
                         queue: queue_latency,
                         ..LatencyBreakdown::default()
                     },
+                    kv_hit: false,
                     isolation: final_level,
                 })
                 .collect());
@@ -485,6 +523,7 @@ impl GuillotineDeployment {
             response: String,
             verdicts: Vec<StageVerdict>,
             latency: LatencyBreakdown,
+            kv_hit: bool,
             isolation: IsolationLevel,
         }
         let mut slots: Vec<Slot> = requests
@@ -500,6 +539,7 @@ impl GuillotineDeployment {
                     queue: queue_latency,
                     ..LatencyBreakdown::default()
                 },
+                kv_hit: false,
                 isolation: admission_level,
             })
             .collect();
@@ -532,26 +572,54 @@ impl GuillotineDeployment {
         let answers = if survivors.is_empty() {
             Vec::new()
         } else {
-            let prompts: Vec<&str> = survivors
+            // KV lookups in serving (priority) order: each surviving
+            // prompt's cached prefix is served from the tier, and only the
+            // uncached tail is prefilled. Refused requests never reach this
+            // point, so they cannot pollute the cache.
+            let shard_tag = self.config.machine.raw();
+            let lookups: Vec<KvLookup> = survivors
                 .iter()
-                .map(|&i| requests[i].prompt.as_str())
+                .map(|&i| match &self.kv {
+                    Some(tier) => {
+                        tier.lookup_insert(requests[i].session, shard_tag, &requests[i].prompt)
+                    }
+                    None => KvLookup::uncached(prompt_tokens(&requests[i].prompt)),
+                })
                 .collect();
-            let answers = self.forward.run(&prompts);
+            let jobs: Vec<PrefillJob> = survivors
+                .iter()
+                .zip(&lookups)
+                .map(|(&i, lookup)| PrefillJob {
+                    prompt: requests[i].prompt.as_str(),
+                    prefill_tokens: lookup.uncached_tokens(),
+                })
+                .collect();
+            let answers = self.forward.run_prefill_decode(&jobs);
             let launch = self.forward.launch_latency();
             let per_sequence = self.forward.per_sequence_latency();
-            self.clock
-                .advance(launch + per_sequence.saturating_mul(survivors.len() as u64));
+            let batch_prefill = lookups.iter().fold(SimDuration::ZERO, |acc, lookup| {
+                acc.saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()))
+            });
+            self.clock.advance(
+                launch
+                    .saturating_add(batch_prefill)
+                    .saturating_add(per_sequence.saturating_mul(survivors.len() as u64)),
+            );
             // Split the launch cost so the per-request shares sum back
             // exactly to the batch launch latency: everyone gets the floor
             // share, and the first `remainder` survivors absorb one extra
-            // nanosecond each.
+            // nanosecond each. Prefill and decode are genuinely
+            // per-sequence costs, so each request carries its own.
             let n = survivors.len() as u64;
             let base_share = launch.as_nanos() / n;
             let remainder = launch.as_nanos() % n;
-            for (k, &i) in survivors.iter().enumerate() {
+            for (k, (&i, lookup)) in survivors.iter().zip(&lookups).enumerate() {
                 let extra = u64::from((k as u64) < remainder);
-                slots[i].latency.inference =
-                    SimDuration::from_nanos(base_share + extra).saturating_add(per_sequence);
+                slots[i].latency.inference = SimDuration::from_nanos(base_share + extra)
+                    .saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()))
+                    .saturating_add(per_sequence);
+                slots[i].latency.kv_saved = self.forward.prefill_latency(lookup.cached_tokens);
+                slots[i].kv_hit = lookup.hit();
             }
             answers
         };
@@ -617,6 +685,7 @@ impl GuillotineDeployment {
                     response: slot.response,
                     verdicts: slot.verdicts,
                     latency: slot.latency,
+                    kv_hit: slot.kv_hit,
                     // Delivered/Sanitized requests completed at the level
                     // recorded when their output cleared; everything that was
                     // refused or cut off completes with the batch itself, at

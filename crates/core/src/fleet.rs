@@ -23,6 +23,20 @@
 //! anyway and come back `Refused` at admission, carrying the shard's
 //! `SystemAnomaly` verdict — the fleet fails closed, never open.
 //!
+//! # The fleet-shared KV tier
+//!
+//! With [`FleetBuilder::with_kv_cache`], every shard serves through **one**
+//! KV/prefix cache tier behind an `Arc`: multi-turn sessions skip prefill
+//! for their cached conversation prefix, and — because the tier is fleet
+//! level, not per shard — a session re-homed after a quarantine keeps its
+//! cache hits on the new shard. The opposite trade is available through
+//! [`FleetBuilder::with_kv_invalidation_on_quarantine`]: quarantining a
+//! shard drops every block it prefilled (containment beats locality), and
+//! the re-homed sessions' cold restarts show up as
+//! [`FleetStats::rehomed_kv_misses`]. Either way, `FleetStats` reports the
+//! re-home penalty (`rehomed_hit_rate`), and the `e16_kv_cache` bench
+//! measures it alongside the ≥2x session-replay speedup.
+//!
 //! # Simulated fleet time
 //!
 //! Shards are independent machines that serve their sub-batches
@@ -37,10 +51,13 @@ use crate::builder::DeploymentBuilder;
 use crate::deployment::{DeploymentConfig, GuillotineDeployment};
 use crate::report::Table;
 use crate::serve::{ServeOutcomeKind, ServeRequest, ServeResponse};
+use guillotine_detect::{DetectorRegistry, InputShield, OutputSanitizer};
+use guillotine_model::{KvCacheConfig, KvTier, KvTierStats};
 use guillotine_physical::{Datacenter, IsolationLevel};
 use guillotine_types::{
     GuillotineError, MachineId, Result, SessionId, SimClock, SimDuration, SimInstant,
 };
+use std::sync::Arc;
 
 // Shards cross thread boundaries in `serve_batch_parallel`; keep the whole
 // deployment `Send` (detector and device trait objects carry the bound).
@@ -155,6 +172,29 @@ pub struct FleetStats {
     /// Shard machines whose cables and hardware are both intact, read live
     /// from each shard's own datacenter plant.
     pub intact_machines: usize,
+    /// Statistics of the fleet-shared KV tier (`None` without one).
+    pub kv: Option<KvTierStats>,
+    /// Among requests served *away from their quarantined home shard*, how
+    /// many still hit the KV tier. With a shared tier this stays high (the
+    /// re-home penalty is only the invalidated/evicted tail); with
+    /// quarantine invalidation configured, the poisoned shard's entries are
+    /// dropped and these land as misses — the measured re-home penalty.
+    pub rehomed_kv_hits: u64,
+    /// Re-homed requests that missed the KV tier (see `rehomed_kv_hits`).
+    pub rehomed_kv_misses: u64,
+}
+
+impl FleetStats {
+    /// KV hit rate among re-homed requests (1.0 when nothing was re-homed,
+    /// i.e. no penalty has been observed).
+    pub fn rehomed_hit_rate(&self) -> f64 {
+        let total = self.rehomed_kv_hits + self.rehomed_kv_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.rehomed_kv_hits as f64 / total as f64
+        }
+    }
 }
 
 impl FleetStats {
@@ -219,8 +259,21 @@ impl FleetReport {
             ]);
         }
         let totals = self.stats.outcomes();
+        let kv_line = match &self.stats.kv {
+            Some(kv) => format!(
+                "kv tier                  : {:.1}% request hit rate, {:.1}% token reuse, {} evictions, {} invalidated\nre-homed kv hit rate     : {:.1}% ({} hits / {} misses)\n",
+                kv.hit_rate() * 100.0,
+                kv.token_reuse_rate() * 100.0,
+                kv.evictions,
+                kv.invalidated,
+                self.stats.rehomed_hit_rate() * 100.0,
+                self.stats.rehomed_kv_hits,
+                self.stats.rehomed_kv_misses,
+            ),
+            None => String::new(),
+        };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -230,6 +283,7 @@ impl FleetReport {
             totals.sanitized,
             totals.refused,
             totals.escalated,
+            kv_line,
         )
     }
 }
@@ -237,6 +291,9 @@ impl FleetReport {
 struct Shard {
     deployment: GuillotineDeployment,
     quarantined: bool,
+    /// Whether this shard's KV entries have already been dropped for its
+    /// current quarantine (so repeated batch refreshes invalidate once).
+    kv_invalidated: bool,
     routed: u64,
     outcomes: OutcomeHistogram,
 }
@@ -245,6 +302,8 @@ struct Shard {
 pub struct FleetBuilder {
     config: FleetConfig,
     shard_builder: Option<Box<dyn Fn(usize) -> DeploymentBuilder>>,
+    kv: Option<KvCacheConfig>,
+    invalidate_kv_on_quarantine: bool,
 }
 
 impl Default for FleetBuilder {
@@ -259,6 +318,8 @@ impl FleetBuilder {
         FleetBuilder {
             config: FleetConfig::default(),
             shard_builder: None,
+            kv: None,
+            invalidate_kv_on_quarantine: false,
         }
     }
 
@@ -282,7 +343,8 @@ impl FleetBuilder {
 
     /// Supplies a per-shard [`DeploymentBuilder`] factory, for fleets whose
     /// shards need bespoke detector stacks. The fleet still stamps each
-    /// returned builder with the shard's machine id and derived seed.
+    /// returned builder with the shard's machine id, derived seed and (when
+    /// configured) the shared KV tier.
     pub fn with_shard_builder(
         mut self,
         factory: impl Fn(usize) -> DeploymentBuilder + 'static,
@@ -291,9 +353,31 @@ impl FleetBuilder {
         self
     }
 
+    /// Attaches one KV/prefix cache tier of the given sizing, shared by
+    /// every shard: a session re-homed off a quarantined shard keeps its
+    /// cache locality on its new shard.
+    pub fn with_kv_cache(mut self, config: KvCacheConfig) -> Self {
+        self.kv = Some(config);
+        self
+    }
+
+    /// When true, quarantining a shard also drops every KV block that shard
+    /// prefilled: containment beats locality, and re-homed sessions pay a
+    /// measured cold-prefix penalty (`FleetStats::rehomed_kv_misses`)
+    /// instead of reusing state a compromised shard produced.
+    pub fn with_kv_invalidation_on_quarantine(mut self, invalidate: bool) -> Self {
+        self.invalidate_kv_on_quarantine = invalidate;
+        self
+    }
+
     /// Assembles the fleet.
     pub fn build(self) -> Result<GuillotineFleet> {
-        GuillotineFleet::assemble(self.config, self.shard_builder)
+        GuillotineFleet::assemble(
+            self.config,
+            self.shard_builder,
+            self.kv,
+            self.invalidate_kv_on_quarantine,
+        )
     }
 }
 
@@ -307,6 +391,10 @@ pub struct GuillotineFleet {
     datacenter: Datacenter,
     round_robin: u64,
     requeued: u64,
+    kv: Option<Arc<KvTier>>,
+    invalidate_kv_on_quarantine: bool,
+    rehomed_kv_hits: u64,
+    rehomed_kv_misses: u64,
     /// Fleet-level simulated clock: advances per batch by the slowest
     /// shard's delta, because shards serve concurrently on separate
     /// hardware.
@@ -316,7 +404,7 @@ pub struct GuillotineFleet {
 impl GuillotineFleet {
     /// Builds a fleet of `config.shards` standard deployments.
     pub fn new(config: FleetConfig) -> Result<Self> {
-        GuillotineFleet::assemble(config, None)
+        GuillotineFleet::assemble(config, None, None, false)
     }
 
     /// Starts a [`FleetBuilder`] for declarative assembly.
@@ -327,18 +415,37 @@ impl GuillotineFleet {
     fn assemble(
         config: FleetConfig,
         shard_builder: Option<Box<dyn Fn(usize) -> DeploymentBuilder>>,
+        kv_config: Option<KvCacheConfig>,
+        invalidate_kv_on_quarantine: bool,
     ) -> Result<Self> {
         if config.shards == 0 {
             return Err(GuillotineError::config("a fleet needs at least one shard"));
         }
+        let kv = kv_config.map(|cfg| Arc::new(KvTier::new(cfg)));
+        // Standard-suite shards share one compiled scan automaton per
+        // ruleset: the text screens are compiled once here and cloned per
+        // shard (clones share the `Arc`ed compiled form), instead of each
+        // shard paying its own fleet-ruleset compilation.
+        let shared_screens = shard_builder
+            .is_none()
+            .then(|| (InputShield::new(), OutputSanitizer::new()));
         let mut datacenter = Datacenter::new("fleet-dc0");
         let mut shards = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let machine = MachineId::new(config.base.machine.raw() + i as u32);
-            let builder = match &shard_builder {
-                Some(factory) => factory(i),
-                None => DeploymentBuilder::new().with_config(config.base.clone()),
+            let mut builder = match (&shard_builder, &shared_screens) {
+                (Some(factory), _) => factory(i),
+                (None, Some((shield, sanitizer))) => DeploymentBuilder::new()
+                    .with_config(config.base.clone())
+                    .with_registry(DetectorRegistry::standard_with_screens(
+                        shield.clone(),
+                        sanitizer.clone(),
+                    )),
+                (None, None) => unreachable!("shared screens exist whenever no factory does"),
             };
+            if let Some(tier) = &kv {
+                builder = builder.with_kv_tier(Arc::clone(tier));
+            }
             let deployment = builder
                 .with_machine(machine)
                 .with_seed(config.base.seed ^ i as u64)
@@ -347,6 +454,7 @@ impl GuillotineFleet {
             shards.push(Shard {
                 deployment,
                 quarantined: false,
+                kv_invalidated: false,
                 routed: 0,
                 outcomes: OutcomeHistogram::default(),
             });
@@ -357,6 +465,10 @@ impl GuillotineFleet {
             datacenter,
             round_robin: 0,
             requeued: 0,
+            kv,
+            invalidate_kv_on_quarantine,
+            rehomed_kv_hits: 0,
+            rehomed_kv_misses: 0,
             clock: SimClock::new(),
         })
     }
@@ -405,6 +517,25 @@ impl GuillotineFleet {
         self.requeued
     }
 
+    /// The fleet-shared KV tier, if one was configured.
+    pub fn kv_tier(&self) -> Option<&Arc<KvTier>> {
+        self.kv.as_ref()
+    }
+
+    /// Marks a shard quarantined, dropping its KV blocks if the fleet was
+    /// configured to prefer containment over cache locality (idempotent per
+    /// quarantine episode).
+    fn quarantine_shard(&mut self, index: usize) {
+        self.shards[index].quarantined = true;
+        if !self.invalidate_kv_on_quarantine || self.shards[index].kv_invalidated {
+            return;
+        }
+        if let Some(tier) = &self.kv {
+            tier.invalidate_shard(self.shards[index].deployment.config().machine.raw());
+        }
+        self.shards[index].kv_invalidated = true;
+    }
+
     /// Re-checks one shard's isolation level and lifts its quarantine if its
     /// console has relaxed it back to a port-serving level.
     ///
@@ -417,7 +548,12 @@ impl GuillotineFleet {
             .deployment
             .isolation_level()
             .ports_available();
-        self.shards[index].quarantined = !healthy;
+        if healthy {
+            self.shards[index].quarantined = false;
+            self.shards[index].kv_invalidated = false;
+        } else {
+            self.quarantine_shard(index);
+        }
         self.sync_datacenter();
         healthy
     }
@@ -451,14 +587,18 @@ impl GuillotineFleet {
         (home, home)
     }
 
-    fn route(&mut self, request: &ServeRequest) -> usize {
+    /// Picks a shard for one request; the second element is true when the
+    /// request was re-homed away from its quarantined session-affinity home
+    /// shard (the case whose KV fate `FleetStats::rehomed_kv_hits` /
+    /// `rehomed_kv_misses` witness).
+    fn route(&mut self, request: &ServeRequest) -> (usize, bool) {
         match self.routing {
             RoutingPolicy::SessionAffinity => {
                 let (home, chosen) = self.affinity_route(request.session);
                 if chosen != home {
                     self.requeued += 1;
                 }
-                chosen
+                (chosen, chosen != home)
             }
             RoutingPolicy::RoundRobin => {
                 let n = self.shards.len();
@@ -466,33 +606,37 @@ impl GuillotineFleet {
                     let candidate = (self.round_robin % n as u64) as usize;
                     self.round_robin += 1;
                     if !self.shards[candidate].quarantined {
-                        return candidate;
+                        return (candidate, false);
                     }
                 }
                 // All quarantined: fail closed on shard 0's admission check.
-                0
+                (0, false)
             }
-            RoutingPolicy::LeastLoaded => self
-                .shards
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.quarantined)
-                .min_by_key(|(idx, s)| (s.routed, *idx))
-                .map(|(idx, _)| idx)
-                .unwrap_or(0),
+            RoutingPolicy::LeastLoaded => (
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.quarantined)
+                    .min_by_key(|(idx, s)| (s.routed, *idx))
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(0),
+                false,
+            ),
         }
     }
 
     /// Routes every request and groups the batch into per-shard sub-batches
-    /// of request indices.
-    fn plan_batch(&mut self, requests: &[ServeRequest]) -> Vec<Vec<usize>> {
+    /// of request indices, plus the per-request re-homed flags.
+    fn plan_batch(&mut self, requests: &[ServeRequest]) -> (Vec<Vec<usize>>, Vec<bool>) {
         let mut sub_batches: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut rehomed = Vec::with_capacity(requests.len());
         for (idx, request) in requests.iter().enumerate() {
-            let shard = self.route(request);
+            let (shard, was_rehomed) = self.route(request);
             self.shards[shard].routed += 1;
             sub_batches[shard].push(idx);
+            rehomed.push(was_rehomed);
         }
-        sub_batches
+        (sub_batches, rehomed)
     }
 
     /// Moves one shard's responses into their submission-order output slots,
@@ -518,11 +662,11 @@ impl GuillotineFleet {
     fn finalize_batch(&mut self, participants: &[usize], before: &[SimInstant]) {
         let mut slowest = SimDuration::ZERO;
         for &shard_idx in participants {
-            let shard = &mut self.shards[shard_idx];
+            let shard = &self.shards[shard_idx];
             if !shard.deployment.isolation_level().ports_available() {
-                shard.quarantined = true;
+                self.quarantine_shard(shard_idx);
             }
-            let delta = shard
+            let delta = self.shards[shard_idx]
                 .deployment
                 .clock
                 .now()
@@ -561,8 +705,17 @@ impl GuillotineFleet {
     /// (console severing or relaxation) take effect at the next batch
     /// without an explicit [`GuillotineFleet::reinstate`] call.
     fn refresh_quarantine(&mut self) {
-        for shard in &mut self.shards {
-            shard.quarantined = !shard.deployment.isolation_level().ports_available();
+        for index in 0..self.shards.len() {
+            if self.shards[index]
+                .deployment
+                .isolation_level()
+                .ports_available()
+            {
+                self.shards[index].quarantined = false;
+                self.shards[index].kv_invalidated = false;
+            } else {
+                self.quarantine_shard(index);
+            }
         }
     }
 
@@ -589,7 +742,7 @@ impl GuillotineFleet {
             return Ok(Vec::new());
         }
         self.refresh_quarantine();
-        let mut sub_batches = self.plan_batch(&requests);
+        let (mut sub_batches, rehomed) = self.plan_batch(&requests);
         let before = self.shard_clocks();
         let total = requests.len();
         let mut slots: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
@@ -625,6 +778,24 @@ impl GuillotineFleet {
                     if first_error.is_none() {
                         first_error = Some(e);
                     }
+                }
+            }
+        }
+        // Witness the re-home penalty: every re-homed response whose
+        // request actually performed a KV lookup (there is a tier, and the
+        // request reached the forward pass — refused/escalated requests
+        // never look up) either kept its cache locality through the shared
+        // tier (hit) or paid the cold-prefix cost (miss).
+        if self.kv.is_some() {
+            for (response, &was_rehomed) in responses.iter().zip(&rehomed) {
+                let Some(response) = response else { continue };
+                if !was_rehomed || response.latency.inference == SimDuration::ZERO {
+                    continue;
+                }
+                if response.kv_hit {
+                    self.rehomed_kv_hits += 1;
+                } else {
+                    self.rehomed_kv_misses += 1;
                 }
             }
         }
@@ -705,6 +876,9 @@ impl GuillotineFleet {
                 .collect(),
             requeued: self.requeued,
             elapsed: self.clock.now().duration_since(SimInstant::ZERO),
+            kv: self.kv.as_ref().map(|tier| tier.stats()),
+            rehomed_kv_hits: self.rehomed_kv_hits,
+            rehomed_kv_misses: self.rehomed_kv_misses,
             // Computed from each shard's live plant (not the lazily-synced
             // fleet mirror), so stats are truthful even right after an
             // out-of-band intervention through `shard_mut`.

@@ -98,3 +98,7 @@ pub use serve::{
     LatencyBreakdown, RequestPolicy, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,
     ServeStage, StageVerdict,
 };
+
+// The KV tier types, re-exported so serving callers (and the benches) can
+// size and share a tier without depending on `guillotine-model` directly.
+pub use guillotine_model::{KvCacheConfig, KvLookup, KvTier, KvTierStats};

@@ -140,14 +140,23 @@ pub struct LatencyBreakdown {
     pub queue: SimDuration,
     /// Input shielding.
     pub input_screen: SimDuration,
-    /// The forward pass (per-request share of the batch launch).
+    /// The forward pass: the per-request share of the batch launch, plus
+    /// this request's own prefill (proportional to its *uncached* prompt
+    /// tokens) and decode time.
     pub inference: SimDuration,
     /// Output screening and delivery.
     pub output_screen: SimDuration,
+    /// Prefill latency this request did **not** pay because its prompt
+    /// prefix was served from the KV tier. Counterfactual savings, so it is
+    /// deliberately excluded from [`LatencyBreakdown::total`] — `inference`
+    /// already reflects only the work actually done. Zero when the
+    /// deployment has no KV tier.
+    pub kv_saved: SimDuration,
 }
 
 impl LatencyBreakdown {
-    /// Total simulated latency across all stages.
+    /// Total simulated latency across all stages (excludes the
+    /// counterfactual `kv_saved`).
     pub fn total(&self) -> SimDuration {
         self.queue
             .saturating_add(self.input_screen)
@@ -170,6 +179,10 @@ pub struct ServeResponse {
     pub verdicts: Vec<StageVerdict>,
     /// Simulated per-stage latency.
     pub latency: LatencyBreakdown,
+    /// True when the KV tier served at least one cached block of this
+    /// request's prompt prefix (always false without a tier, and for
+    /// requests that never reached the forward pass).
+    pub kv_hit: bool,
     /// The deployment's isolation level when this request completed.
     pub isolation: IsolationLevel,
 }
@@ -254,7 +267,9 @@ mod tests {
             input_screen: SimDuration::from_micros(20),
             inference: SimDuration::from_micros(30),
             output_screen: SimDuration::from_micros(40),
+            kv_saved: SimDuration::from_micros(999),
         };
+        // kv_saved is counterfactual and never counts toward the total.
         assert_eq!(l.total(), SimDuration::from_micros(100));
     }
 

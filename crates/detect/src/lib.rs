@@ -71,9 +71,9 @@ pub mod verdict;
 pub use anomaly::{AnomalyDetector, SystemBaseline};
 pub use circuit_breaker::CircuitBreaker;
 pub use composite::CompositeDetector;
-pub use input_shield::{InputShield, ShieldRule, ShieldScan};
+pub use input_shield::{CompiledShieldRules, InputShield, ShieldRule, ShieldScan};
 pub use observation::{ActivationStep, ActivationTrace, ModelObservation, SystemStats};
-pub use output_sanitizer::{ForbiddenCategory, OutputSanitizer};
+pub use output_sanitizer::{CompiledCategories, ForbiddenCategory, OutputSanitizer};
 pub use registry::DetectorRegistry;
 pub use steering::ActivationSteering;
 pub use verdict::{Detector, RecommendedAction, Verdict};

@@ -9,11 +9,15 @@
 //! whose offsets misalign on non-ASCII text, and no per-marker rescans.
 //! Markers shorter than four bytes (e.g. `"vx"`) are matched with word
 //! boundaries so they cannot fire inside unrelated words like `"devx"`.
+//! The compiled form lives in a [`CompiledCategories`] behind an `Arc`, so
+//! a fleet compiles its category set once and shares it across every
+//! shard's sanitizer ([`OutputSanitizer::with_compiled`]).
 
 use crate::observation::ModelObservation;
 use crate::verdict::{Detector, RecommendedAction, Verdict};
 use guillotine_scan::{Matcher, MatcherBuilder};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Markers shorter than this many bytes only match at word boundaries;
 /// very short markers are otherwise frequent false positives inside
@@ -31,19 +35,74 @@ pub struct ForbiddenCategory {
     pub severity: f64,
 }
 
-/// The output sanitizer: scans responses and replaces forbidden spans with a
-/// redaction marker, so the hypervisor can forward the sanitized response
-/// instead of suppressing it entirely.
+/// A category set in compiled form: the categories, their single-pass
+/// automaton, and the pattern-id → category-index map.
 ///
-/// Not serializable: the compiled [`Matcher`] is a derived artifact of
-/// `categories`. Persist the categories (serializable
-/// [`ForbiddenCategory`]s) and rebuild.
-#[derive(Debug, Clone)]
-pub struct OutputSanitizer {
+/// Like `CompiledShieldRules`, this is immutable and made to be shared
+/// behind an [`Arc`]: a fleet compiles its category set once and every
+/// shard's sanitizer scans with the same automaton
+/// ([`OutputSanitizer::with_compiled`]).
+#[derive(Debug)]
+pub struct CompiledCategories {
     categories: Vec<ForbiddenCategory>,
     matcher: Matcher,
     /// Pattern id → index of the owning category.
     marker_category: Vec<usize>,
+}
+
+impl CompiledCategories {
+    /// Compiles every marker of every category into one automaton; short
+    /// markers get word-boundary semantics, and markers containing
+    /// non-ASCII letters also register their Unicode case variants.
+    pub fn compile(categories: impl IntoIterator<Item = ForbiddenCategory>) -> Self {
+        let categories: Vec<ForbiddenCategory> = categories.into_iter().collect();
+        let mut builder = MatcherBuilder::new();
+        let mut marker_category = Vec::new();
+        for (index, category) in categories.iter().enumerate() {
+            for marker in &category.markers {
+                crate::scan_util::add_case_variants(
+                    &mut builder,
+                    marker,
+                    marker.len() < WORD_BOUND_BELOW_BYTES,
+                    index,
+                    &mut marker_category,
+                );
+            }
+        }
+        CompiledCategories {
+            categories,
+            matcher: builder.build(),
+            marker_category,
+        }
+    }
+
+    /// Compiles the default category set (see [`OutputSanitizer::new`]).
+    pub fn standard() -> Self {
+        CompiledCategories::compile(OutputSanitizer::default_categories())
+    }
+
+    /// The compiled categories, in registration order.
+    pub fn categories(&self) -> &[ForbiddenCategory] {
+        &self.categories
+    }
+
+    /// The compiled single-pass automaton.
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+}
+
+/// The output sanitizer: scans responses and replaces forbidden spans with a
+/// redaction marker, so the hypervisor can forward the sanitized response
+/// instead of suppressing it entirely.
+///
+/// Not serializable: the compiled [`Matcher`] is a derived artifact of the
+/// categories. Persist the categories (serializable
+/// [`ForbiddenCategory`]s) and rebuild. Cloning a sanitizer shares its
+/// [`CompiledCategories`] (no recompilation).
+#[derive(Debug, Clone)]
+pub struct OutputSanitizer {
+    compiled: Arc<CompiledCategories>,
     redaction: String,
     inspected: u64,
     sanitized: u64,
@@ -58,7 +117,28 @@ impl Default for OutputSanitizer {
 impl OutputSanitizer {
     /// Creates a sanitizer with the default category set.
     pub fn new() -> Self {
-        let categories = vec![
+        OutputSanitizer::with_compiled(Arc::new(CompiledCategories::standard()))
+    }
+
+    /// Creates a sanitizer around an already-compiled, possibly shared
+    /// category set (the fleet path: compile once, share across shards).
+    pub fn with_compiled(compiled: Arc<CompiledCategories>) -> Self {
+        OutputSanitizer {
+            compiled,
+            redaction: "[REDACTED BY GUILLOTINE]".into(),
+            inspected: 0,
+            sanitized: 0,
+        }
+    }
+
+    /// The shared compiled category set this sanitizer scans with.
+    pub fn compiled(&self) -> &Arc<CompiledCategories> {
+        &self.compiled
+    }
+
+    /// The default forbidden-category set.
+    fn default_categories() -> Vec<ForbiddenCategory> {
+        vec![
             ForbiddenCategory {
                 name: "weapon-synthesis".into(),
                 markers: vec![
@@ -95,36 +175,7 @@ impl OutputSanitizer {
                 markers: vec!["password:".into(), "api key:".into(), "private key".into()],
                 severity: 0.7,
             },
-        ];
-        let (matcher, marker_category) = Self::compile(&categories);
-        OutputSanitizer {
-            categories,
-            matcher,
-            marker_category,
-            redaction: "[REDACTED BY GUILLOTINE]".into(),
-            inspected: 0,
-            sanitized: 0,
-        }
-    }
-
-    /// Compiles every marker of every category into one automaton; short
-    /// markers get word-boundary semantics, and markers containing
-    /// non-ASCII letters also register their Unicode case variants.
-    fn compile(categories: &[ForbiddenCategory]) -> (Matcher, Vec<usize>) {
-        let mut builder = MatcherBuilder::new();
-        let mut marker_category = Vec::new();
-        for (index, category) in categories.iter().enumerate() {
-            for marker in &category.markers {
-                crate::scan_util::add_case_variants(
-                    &mut builder,
-                    marker,
-                    marker.len() < WORD_BOUND_BELOW_BYTES,
-                    index,
-                    &mut marker_category,
-                );
-            }
-        }
-        (builder.build(), marker_category)
+        ]
     }
 
     /// Adds a forbidden category and recompiles the marker automaton
@@ -135,20 +186,20 @@ impl OutputSanitizer {
 
     /// Adds many categories with a single automaton recompilation — the way
     /// to load large fleet category sets without O(categories²) rebuild
-    /// cost.
+    /// cost. The sanitizer detaches from any shared category set (other
+    /// sanitizers keep the old one).
     pub fn add_categories<I>(&mut self, categories: I)
     where
         I: IntoIterator<Item = ForbiddenCategory>,
     {
-        self.categories.extend(categories);
-        let (matcher, marker_category) = Self::compile(&self.categories);
-        self.matcher = matcher;
-        self.marker_category = marker_category;
+        let mut merged = self.compiled.categories.clone();
+        merged.extend(categories);
+        self.compiled = Arc::new(CompiledCategories::compile(merged));
     }
 
     /// The installed categories, in registration order.
     pub fn categories(&self) -> &[ForbiddenCategory] {
-        &self.categories
+        &self.compiled.categories
     }
 
     /// Number of responses inspected.
@@ -171,16 +222,21 @@ impl OutputSanitizer {
     /// non-ASCII text around markers survives intact — unlike the old
     /// lowercase-shadow scan, which misaligned on text like `"İ"`.
     pub fn sanitize(&self, text: &str) -> (String, Vec<String>, f64) {
+        // Clean-fast: the common clean response exits on a single DFA pass
+        // that stops at the first hit, allocating nothing.
+        if self.compiled.matcher.find_earliest(text).is_none() {
+            return (text.to_string(), Vec::new(), 0.0);
+        }
         let mut spans: Vec<(usize, usize)> = Vec::new();
-        let mut category_hit = vec![false; self.categories.len()];
-        self.matcher.scan(text, |m| {
-            category_hit[self.marker_category[m.pattern]] = true;
+        let mut category_hit = vec![false; self.compiled.categories.len()];
+        self.compiled.matcher.scan(text, |m| {
+            category_hit[self.compiled.marker_category[m.pattern]] = true;
             spans.push((m.start, m.end));
             true
         });
         let mut matched = Vec::new();
         let mut severity: f64 = 0.0;
-        for (category, hit) in self.categories.iter().zip(&category_hit) {
+        for (category, hit) in self.compiled.categories.iter().zip(&category_hit) {
             if *hit {
                 matched.push(category.name.clone());
                 severity = severity.max(category.severity);
@@ -361,6 +417,25 @@ mod tests {
             assert_eq!(cats, vec!["codeword".to_string()], "missed in {text:?}");
             assert!(clean.contains("[REDACTED BY GUILLOTINE]"));
         }
+    }
+
+    #[test]
+    fn compiled_categories_are_shared_not_recompiled() {
+        let compiled = Arc::new(CompiledCategories::standard());
+        let a = OutputSanitizer::with_compiled(Arc::clone(&compiled));
+        let b = a.clone();
+        assert_eq!(Arc::strong_count(&compiled), 3);
+        assert!(Arc::ptr_eq(a.compiled(), b.compiled()));
+        // A local category addition detaches only the mutant.
+        let mut c = b.clone();
+        c.add_category(ForbiddenCategory {
+            name: "local".into(),
+            markers: vec!["localmarker".into()],
+            severity: 0.5,
+        });
+        assert!(!Arc::ptr_eq(c.compiled(), &compiled));
+        assert!(Arc::ptr_eq(b.compiled(), &compiled));
+        assert_eq!(b.categories().len() + 1, c.categories().len());
     }
 
     #[test]

@@ -44,10 +44,20 @@ impl DetectorRegistry {
     /// detection — the four §3.3 families plus the hypervisor's own
     /// system-counter channel.
     pub fn standard() -> Self {
+        DetectorRegistry::standard_with_screens(InputShield::new(), OutputSanitizer::new())
+    }
+
+    /// The standard suite built around caller-supplied text screens.
+    ///
+    /// This is the fleet path for compile-once rulesets: compile one
+    /// [`InputShield`] / [`OutputSanitizer`] (or their `Compiled*` forms
+    /// behind an `Arc`) and hand each shard a clone — the clones share the
+    /// compiled automatons, so N shards cost one compilation, not N.
+    pub fn standard_with_screens(shield: InputShield, sanitizer: OutputSanitizer) -> Self {
         let mut registry = DetectorRegistry::new();
         registry
-            .register(Box::new(InputShield::new()))
-            .register(Box::new(OutputSanitizer::new()))
+            .register(Box::new(shield))
+            .register(Box::new(sanitizer))
             .register(Box::new(ActivationSteering::with_default_regions()))
             .register(Box::new(CircuitBreaker::with_default_regions()))
             .register(Box::new(AnomalyDetector::new()));

@@ -1,14 +1,23 @@
-//! The simulated forward pass, with realistic batch amortization.
+//! The simulated forward pass, with realistic batch amortization and a
+//! prefill/decode split.
 //!
-//! Real LLM serving is dominated by streaming the weights through the
-//! accelerator once per kernel launch; a batch shares that cost across every
-//! sequence in it. The simulator reproduces exactly that shape: each
-//! [`BatchedForwardPass::run`] invocation performs one weight sweep — real,
-//! optimizer-proof work proportional to the simulated parameter count — and
-//! then generates each answer with cheap per-sequence work. Serving N
-//! prompts in one batch therefore costs one sweep; serving them one at a
-//! time costs N sweeps. The `e13_batch_throughput` bench measures this
-//! amortization end to end through the deployment's `serve_batch`.
+//! Real LLM serving is dominated by two costs with different shapes:
+//! streaming the weights through the accelerator once per kernel launch (a
+//! batch shares that cost across every sequence in it), and *prefill* — the
+//! attention pass over the prompt tokens, linear in how many of them are not
+//! already covered by a KV cache. The simulator reproduces both: each
+//! [`BatchedForwardPass::run_prefill_decode`] invocation performs one weight
+//! sweep — real, optimizer-proof work — whose length is the fixed per-launch
+//! streaming cost *plus* [`PREFILL_WORDS_PER_TOKEN`] words per uncached
+//! prompt token, then generates each answer with cheap per-sequence decode
+//! work. Serving N prompts in one batch therefore costs one launch sweep;
+//! serving a cached prefix costs nothing at all (the words are genuinely
+//! skipped, not merely not counted). Decode cost is unaffected by caching.
+//! The `e13_batch_throughput` bench measures the batch amortization and
+//! `e16_kv_cache` the prefill reuse, end to end through `serve_batch`.
+//!
+//! Answers depend only on the prompt text — never on cache state — so
+//! serving is byte-identical with any KV tier on or off.
 
 use guillotine_scan::Matcher;
 use guillotine_types::SimDuration;
@@ -19,6 +28,45 @@ use std::sync::OnceLock;
 /// Sized so one sweep clearly dominates per-request screening work without
 /// making single-prompt tests slow (~10⁵ mixing operations).
 pub const WEIGHT_SWEEP_WORDS: u64 = 1 << 17;
+
+/// Simulated weight words of prefill compute per uncached prompt token;
+/// cached tokens skip these words entirely.
+pub const PREFILL_WORDS_PER_TOKEN: u64 = 512;
+
+/// Simulated prefill latency per uncached prompt token.
+///
+/// Free function (not a method) so the KV tier can price saved latency
+/// without holding the engine.
+pub fn per_prefill_token_latency() -> SimDuration {
+    SimDuration::from_micros(100)
+}
+
+/// Number of simulated prompt tokens in `text`, at the tokenizer granularity
+/// shared with the KV tier ([`crate::kv::BYTES_PER_TOKEN`]).
+pub fn prompt_tokens(text: &str) -> u64 {
+    crate::kv::tokens_for_bytes(text.len())
+}
+
+/// One sequence entering a forward-pass launch: the full prompt (answers are
+/// always generated from it) plus how many of its tokens must be prefilled
+/// (its total tokens minus whatever a KV lookup found cached).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefillJob<'a> {
+    /// The full prompt text.
+    pub prompt: &'a str,
+    /// Tokens not covered by the KV cache; this is what prefill costs.
+    pub prefill_tokens: u64,
+}
+
+impl<'a> PrefillJob<'a> {
+    /// A job with nothing cached: the whole prompt prefills.
+    pub fn cold(prompt: &'a str) -> Self {
+        PrefillJob {
+            prompt,
+            prefill_tokens: prompt_tokens(prompt),
+        }
+    }
+}
 
 /// The simulated model's forward-pass engine.
 ///
@@ -32,6 +80,7 @@ pub struct BatchedForwardPass {
     checksum: u64,
     launches: u64,
     sequences: u64,
+    prefilled_tokens: u64,
 }
 
 impl Default for BatchedForwardPass {
@@ -53,6 +102,7 @@ impl BatchedForwardPass {
             checksum: 0x6715_D00D_5EED_CAFE,
             launches: 0,
             sequences: 0,
+            prefilled_tokens: 0,
         }
     }
 
@@ -61,7 +111,13 @@ impl BatchedForwardPass {
         SimDuration::from_millis(5)
     }
 
-    /// Simulated incremental latency of one sequence within a launch.
+    /// Simulated latency of prefilling `tokens` uncached prompt tokens.
+    pub fn prefill_latency(&self, tokens: u64) -> SimDuration {
+        per_prefill_token_latency().saturating_mul(tokens)
+    }
+
+    /// Simulated incremental decode latency of one sequence within a launch
+    /// (unaffected by KV caching).
     pub fn per_sequence_latency(&self) -> SimDuration {
         SimDuration::from_micros(200)
     }
@@ -76,24 +132,46 @@ impl BatchedForwardPass {
         self.sequences
     }
 
-    /// Runs one batched forward pass: a single weight sweep, then one answer
-    /// per prompt, in order.
-    pub fn run(&mut self, prompts: &[&str]) -> Vec<String> {
-        if prompts.is_empty() {
-            return Vec::new();
-        }
-        self.checksum = self.sweep_weights();
-        self.launches += 1;
-        self.sequences += prompts.len() as u64;
-        prompts.iter().map(|p| simulated_answer(p)).collect()
+    /// Number of prompt tokens prefilled (uncached work actually swept) so
+    /// far — the deterministic witness of KV reuse.
+    pub fn prefilled_tokens(&self) -> u64 {
+        self.prefilled_tokens
     }
 
-    /// One pass over the simulated weight store. `black_box` keeps the loop
-    /// from being optimized away, so the wall-clock cost is real and the
-    /// batch-amortization the benches measure is honest.
-    fn sweep_weights(&self) -> u64 {
+    /// Runs one batched forward pass with every prompt fully uncached: a
+    /// launch sweep plus full prefill, then one answer per prompt, in order.
+    pub fn run(&mut self, prompts: &[&str]) -> Vec<String> {
+        let jobs: Vec<PrefillJob> = prompts.iter().map(|p| PrefillJob::cold(p)).collect();
+        self.run_prefill_decode(&jobs)
+    }
+
+    /// Runs one batched, prefill/decode-split forward pass: one launch sweep
+    /// extended by the batch's uncached prefill tokens, then one answer per
+    /// prompt, in order. Cached tokens are skipped — their sweep words are
+    /// never executed — but each answer is still generated from the full
+    /// prompt, so output is byte-identical however much was cached.
+    pub fn run_prefill_decode(&mut self, jobs: &[PrefillJob<'_>]) -> Vec<String> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let prefill: u64 = jobs.iter().map(|j| j.prefill_tokens).sum();
+        let words = self
+            .sweep_words
+            .saturating_add(PREFILL_WORDS_PER_TOKEN.saturating_mul(prefill));
+        self.checksum = self.sweep_weights(words);
+        self.launches += 1;
+        self.sequences += jobs.len() as u64;
+        self.prefilled_tokens += prefill;
+        jobs.iter().map(|j| simulated_answer(j.prompt)).collect()
+    }
+
+    /// One pass over the simulated weight store plus the launch's prefill
+    /// compute. `black_box` keeps the loop from being optimized away, so the
+    /// wall-clock cost is real and both the batch amortization and the KV
+    /// prefill reuse the benches measure are honest.
+    fn sweep_weights(&self, words: u64) -> u64 {
         let mut acc = self.checksum;
-        for word in 0..self.sweep_words {
+        for word in 0..words {
             acc = std::hint::black_box(
                 (acc ^ word)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -180,6 +258,23 @@ mod tests {
         let two = fp.run(&["What is the capital of France?"]);
         assert_eq!(one, two);
         assert!(one[0].contains("helpful, harmless answer"));
+    }
+
+    #[test]
+    fn cached_prefixes_skip_prefill_but_not_answers() {
+        let prompt = "Please continue our long-running conversation about tides.";
+        let mut cold = BatchedForwardPass::with_sweep_words(64);
+        let cold_answers = cold.run(&[prompt]);
+        assert_eq!(cold.prefilled_tokens(), prompt_tokens(prompt));
+
+        let mut warm = BatchedForwardPass::with_sweep_words(64);
+        let warm_answers = warm.run_prefill_decode(&[PrefillJob {
+            prompt,
+            prefill_tokens: 3,
+        }]);
+        assert_eq!(warm.prefilled_tokens(), 3);
+        assert_eq!(cold_answers, warm_answers, "caching must not change output");
+        assert_eq!(warm.launches(), 1);
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! * [`service`] — the inference-service simulator (queues, replicas, KV
 //!   cache, token generation, RAG lookups),
 //! * [`forward`] — the simulated forward pass whose per-launch weight sweep
-//!   gives batching its real cost advantage (used by the deployment's
+//!   gives batching its real cost advantage, split into prefill (linear in
+//!   *uncached* prompt tokens) and decode (used by the deployment's
 //!   `serve_batch`),
+//! * [`kv`] — the fleet-shared KV/prefix cache tier: a session/prefix-keyed
+//!   block cache with a token budget, LRU eviction, per-session generations
+//!   and shard-tagged quarantine invalidation,
 //! * [`workload`] — open-loop request generators with benign and adversarial
 //!   prompt corpora and activation-trace synthesis,
 //! * [`rogue`] — the rogue-behaviour library: each entry is one concrete
@@ -23,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod forward;
+pub mod kv;
 pub mod rogue;
 pub mod service;
 pub mod workload;
 
-pub use forward::{simulated_answer, BatchedForwardPass};
+pub use forward::{prompt_tokens, simulated_answer, BatchedForwardPass, PrefillJob};
+pub use kv::{KvCache, KvCacheConfig, KvLookup, KvTier, KvTierStats};
 pub use rogue::{AttackFamily, AttackVector, RogueLibrary};
 pub use service::{InferenceService, ServiceConfig, ServiceStats};
 pub use workload::{InferenceRequest, PromptClass, WorkloadConfig, WorkloadGenerator};

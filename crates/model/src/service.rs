@@ -5,10 +5,11 @@
 //! tokens, per-token generation latency (the GPU-heavy part) and optional
 //! retrieval-augmented-generation lookups.
 
+use crate::kv::{KvCache, KvCacheConfig};
 use crate::workload::InferenceRequest;
-use guillotine_types::{DetRng, SimDuration, SimInstant};
+use guillotine_types::{DetRng, SessionId, SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Service sizing and latency parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -104,8 +105,7 @@ pub struct InferenceService {
     config: ServiceConfig,
     queue: VecDeque<InferenceRequest>,
     replicas: Vec<Replica>,
-    kv_cache: HashMap<u64, SimInstant>,
-    kv_order: VecDeque<u64>,
+    kv: KvCache,
     stats: ServiceStats,
     rng: DetRng,
 }
@@ -120,8 +120,15 @@ impl InferenceService {
                     busy_until: SimInstant::ZERO,
                 })
                 .collect(),
-            kv_cache: HashMap::new(),
-            kv_order: VecDeque::new(),
+            // The service's private prompt cache used to be its own
+            // HashMap + insertion-order queue (with an LRU recency bug: a
+            // hit never moved the entry, so hot prompts were evicted in
+            // insertion order). It now rides the shared KV tier
+            // implementation, whose LRU is real. The entry budget maps to
+            // a token budget at one default block per entry.
+            kv: KvCache::new(KvCacheConfig::with_capacity(
+                config.kv_cache_entries as u64 * crate::kv::BLOCK_TOKENS as u64,
+            )),
             stats: ServiceStats::default(),
             rng: DetRng::seed(config.seed),
             config,
@@ -155,32 +162,14 @@ impl InferenceService {
         self.queue.extend(requests);
     }
 
-    fn prompt_key(prompt: &str) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in prompt.as_bytes().iter().take(64) {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h
-    }
-
-    fn kv_lookup(&mut self, prompt: &str, now: SimInstant) -> bool {
-        let key = Self::prompt_key(prompt);
-        if self.kv_cache.contains_key(&key) {
-            self.stats.kv_hits += 1;
-            self.kv_cache.insert(key, now);
-            true
-        } else {
-            self.stats.kv_misses += 1;
-            if self.kv_cache.len() >= self.config.kv_cache_entries {
-                if let Some(oldest) = self.kv_order.pop_front() {
-                    self.kv_cache.remove(&oldest);
-                }
-            }
-            self.kv_cache.insert(key, now);
-            self.kv_order.push_back(key);
-            false
-        }
+    /// One KV lookup through the shared tier implementation: the service's
+    /// requests carry no session, so all traffic shares one anonymous
+    /// session, and a "hit" means the whole prompt prefix was cached (the
+    /// full-savings case the `kv_hit_savings` latency discount models).
+    fn kv_lookup(&mut self, prompt: &str) -> bool {
+        self.kv
+            .lookup_insert(SessionId::new(0), 0, prompt)
+            .full_hit()
     }
 
     /// Processes queued requests, assigning them to replicas as the replicas
@@ -201,7 +190,12 @@ impl InferenceService {
                 break;
             }
             self.queue.pop_front();
-            let kv_hit = self.kv_lookup(&request.prompt, start);
+            let kv_hit = self.kv_lookup(&request.prompt);
+            if kv_hit {
+                self.stats.kv_hits += 1;
+            } else {
+                self.stats.kv_misses += 1;
+            }
             let mut compute = self
                 .config
                 .per_token_latency
@@ -266,6 +260,41 @@ mod tests {
         }
         svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
         assert!(svc.stats().kv_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn hot_prompts_survive_eviction_pressure() {
+        // Two-entry (32-token) cache and three one-block (16-token, 64-byte)
+        // prompts, so the third distinct prompt genuinely forces an
+        // eviction. The hot prompt A is touched between the B and C
+        // insertions, so the LRU victim for C must be B — under the old
+        // insertion-order eviction, A was evicted while hot and the final A
+        // lookup missed.
+        let mut svc = InferenceService::new(ServiceConfig {
+            kv_cache_entries: 2,
+            ..ServiceConfig::default()
+        });
+        let mut gen = WorkloadGenerator::new(WorkloadConfig {
+            adversarial_fraction: 0.0,
+            ..WorkloadConfig::default()
+        });
+        let template = gen.batch(1).pop().unwrap();
+        let (a, b, c) = ("a".repeat(64), "b".repeat(64), "c".repeat(64));
+        let prompts = [&a, &b, &a, &c, &a];
+        for (i, prompt) in prompts.iter().enumerate() {
+            svc.submit(InferenceRequest {
+                prompt: prompt.to_string(),
+                arrival: SimInstant::from_nanos(i as u64),
+                ..template.clone()
+            });
+        }
+        svc.run_until(SimInstant::from_nanos(u64::MAX / 2));
+        assert_eq!(svc.stats().kv_hits, 2, "both repeat touches of A must hit");
+        assert_eq!(
+            svc.stats().kv_misses,
+            3,
+            "A, B and C each cold-miss exactly once: C's insertion evicted B, not hot A"
+        );
     }
 
     #[test]

@@ -341,12 +341,23 @@ impl Matcher {
 
     /// True if any pattern occurs in `haystack` (stops at the first hit).
     pub fn is_match(&self, haystack: &str) -> bool {
-        let mut hit = false;
-        self.scan(haystack, |_| {
-            hit = true;
+        self.find_earliest(haystack).is_some()
+    }
+
+    /// The earliest-ending match (ties broken longest-pattern first, i.e.
+    /// the first match [`Matcher::scan`] would visit), or `None`.
+    ///
+    /// This is the refuse-fast/allow-fast primitive: it stops the DFA walk
+    /// at the first hit, so callers that only need "does anything match,
+    /// and what" — admission checks, clean-text fast paths — pay for the
+    /// scanned prefix only, never for full span enumeration.
+    pub fn find_earliest(&self, haystack: &str) -> Option<Match> {
+        let mut first = None;
+        self.scan(haystack, |m| {
+            first = Some(m);
             false
         });
-        hit
+        first
     }
 
     /// Which patterns occur at least once — the shared per-text scan result
@@ -501,6 +512,29 @@ mod tests {
             assert!(matcher.matched_ids(text).contains(0), "missed in {text:?}");
         }
         assert!(!matcher.matched_ids("vx_payload").contains(0));
+    }
+
+    #[test]
+    fn find_earliest_returns_the_first_visited_match() {
+        let matcher = Matcher::compile(["bc", "abc", "zz"]);
+        let hit = matcher.find_earliest("xxabcxx").unwrap();
+        // Both "abc" and "bc" end at offset 5; the longer pattern is
+        // visited first, exactly as scan() orders them.
+        assert_eq!(
+            hit,
+            Match {
+                pattern: 1,
+                start: 2,
+                end: 5
+            }
+        );
+        assert!(matcher.find_earliest("nothing here").is_none());
+        // Word-bounded patterns that are suppressed do not count as first.
+        let mut builder = MatcherBuilder::new();
+        builder.add_word_bounded("vx");
+        builder.add("tooling");
+        let bounded = builder.build();
+        assert_eq!(bounded.find_earliest("devx tooling").unwrap().pattern, 1);
     }
 
     #[test]

@@ -331,15 +331,20 @@ fn flagged_reflects_request_content_not_the_shared_system_window() {
 fn per_request_inference_shares_sum_to_the_batch_launch_cost() {
     // 5 ms of launch latency does not divide evenly by 7 (or by 3), so this
     // exercises the remainder distribution: the per-request shares must sum
-    // back exactly to launch + n * per_sequence, with no nanoseconds lost to
-    // integer division.
+    // back exactly to launch + the batch's prefill + n * decode, with no
+    // nanoseconds lost to integer division. (Without a KV tier every prompt
+    // token prefills.)
     let engine = guillotine_model::BatchedForwardPass::new();
     for n in [3usize, 7, 11] {
+        let prompts: Vec<String> = (0..n)
+            .map(|i| format!("Question {i} about ocean tides."))
+            .collect();
         let mut d = deployment();
         let responses = d
             .serve_batch(
-                (0..n)
-                    .map(|i| ServeRequest::new(format!("Question {i} about ocean tides.")))
+                prompts
+                    .iter()
+                    .map(|p| ServeRequest::new(p.clone()))
                     .collect(),
             )
             .unwrap();
@@ -348,24 +353,41 @@ fn per_request_inference_shares_sum_to_the_batch_launch_cost() {
             .iter()
             .map(|r| r.latency.inference.as_nanos())
             .sum();
+        let batch_prefill: u64 = prompts
+            .iter()
+            .map(|p| {
+                engine
+                    .prefill_latency(guillotine_model::prompt_tokens(p))
+                    .as_nanos()
+            })
+            .sum();
         let expected = engine.launch_latency().as_nanos()
+            + batch_prefill
             + engine.per_sequence_latency().as_nanos() * n as u64;
         assert_eq!(
             total, expected,
             "inference shares for a batch of {n} must sum to the batch cost"
         );
-        // No share differs from another by more than the 1 ns remainder unit.
-        let min = responses
+        // Stripped of each request's own prefill, no launch share differs
+        // from another by more than the 1 ns remainder unit.
+        let shares: Vec<u64> = responses
             .iter()
-            .map(|r| r.latency.inference.as_nanos())
-            .min()
-            .unwrap();
-        let max = responses
-            .iter()
-            .map(|r| r.latency.inference.as_nanos())
-            .max()
-            .unwrap();
+            .zip(&prompts)
+            .map(|(r, p)| {
+                r.latency.inference.as_nanos()
+                    - engine
+                        .prefill_latency(guillotine_model::prompt_tokens(p))
+                        .as_nanos()
+            })
+            .collect();
+        let min = shares.iter().min().unwrap();
+        let max = shares.iter().max().unwrap();
         assert!(max - min <= 1);
+        // No tier attached: nothing was cached, nothing was "saved".
+        assert!(responses.iter().all(|r| !r.kv_hit));
+        assert!(responses
+            .iter()
+            .all(|r| r.latency.kv_saved == guillotine_types::SimDuration::ZERO));
     }
 }
 
