@@ -1,0 +1,180 @@
+//! Deterministic seeded arrival-process generators.
+//!
+//! Open-loop load experiments need requests that *arrive* — at Poisson
+//! times, or in bursts — rather than pre-formed synchronous waves. The
+//! generators here turn a seed into a reproducible sequence of arrival
+//! instants on the simulated clock, so the same seed replays the exact
+//! same trace against any admission configuration (the property the
+//! `e17_admission` comparison rests on).
+
+use guillotine_types::{DetRng, SimDuration, SimInstant};
+
+/// The statistical shape of an arrival stream.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: inter-arrival gaps are exponential with the
+    /// given mean — the classic open-loop Poisson workload.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: SimDuration,
+    },
+    /// Bursty on-off arrivals: `burst_len` requests separated by
+    /// exponential(`burst_gap`) gaps, then an exponential(`idle_gap`)
+    /// silence before the next burst. Models the load spikes that make
+    /// naive fixed-wave admission shed or stall.
+    OnOff {
+        /// Arrivals per burst (clamped to at least 1).
+        burst_len: u32,
+        /// Mean gap between arrivals inside a burst.
+        burst_gap: SimDuration,
+        /// Mean silence between bursts.
+        idle_gap: SimDuration,
+    },
+}
+
+/// A seeded generator of arrival instants for one [`ArrivalProcess`].
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: DetRng,
+    now: SimInstant,
+    burst_remaining: u32,
+}
+
+impl ArrivalGen {
+    /// Creates a generator; the same `(process, seed)` pair always yields
+    /// the same arrival sequence.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let burst_remaining = match process {
+            ArrivalProcess::Poisson { .. } => 0,
+            ArrivalProcess::OnOff { burst_len, .. } => burst_len.max(1),
+        };
+        ArrivalGen {
+            process,
+            rng: DetRng::seed(seed),
+            now: SimInstant::ZERO,
+            burst_remaining,
+        }
+    }
+
+    /// Draws an exponential gap with the given mean, in whole nanoseconds
+    /// (at least 1ns so time always advances).
+    fn exp_gap(&mut self, mean: SimDuration) -> SimDuration {
+        let nanos = self.rng.exponential(mean.as_nanos().max(1) as f64);
+        SimDuration::from_nanos((nanos as u64).max(1))
+    }
+
+    /// Returns the next arrival instant, advancing the generator's clock.
+    pub fn next_arrival(&mut self) -> SimInstant {
+        let gap = match self.process {
+            ArrivalProcess::Poisson { mean_gap } => self.exp_gap(mean_gap),
+            ArrivalProcess::OnOff {
+                burst_len,
+                burst_gap,
+                idle_gap,
+            } => {
+                if self.burst_remaining == 0 {
+                    self.burst_remaining = burst_len.max(1);
+                    self.exp_gap(idle_gap)
+                } else {
+                    self.exp_gap(burst_gap)
+                }
+            }
+        };
+        if let ArrivalProcess::OnOff { .. } = self.process {
+            self.burst_remaining -= 1;
+        }
+        self.now = self.now.saturating_add(gap);
+        self.now
+    }
+
+    /// Generates the first `n` arrival instants as a trace.
+    pub fn trace(process: ArrivalProcess, seed: u64, n: usize) -> Vec<SimInstant> {
+        let mut generator = ArrivalGen::new(process, seed);
+        (0..n).map(|_| generator.next_arrival()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_same_trace() {
+        let process = ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_micros(100),
+        };
+        let a = ArrivalGen::trace(process, 42, 256);
+        let b = ArrivalGen::trace(process, 42, 256);
+        assert_eq!(a, b);
+        let c = ArrivalGen::trace(process, 43, 256);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let process = ArrivalProcess::OnOff {
+            burst_len: 8,
+            burst_gap: SimDuration::from_micros(1),
+            idle_gap: SimDuration::from_millis(5),
+        };
+        let trace = ArrivalGen::trace(process, 7, 512);
+        for pair in trace.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_roughly_respected() {
+        let mean = SimDuration::from_micros(50);
+        let trace = ArrivalGen::trace(ArrivalProcess::Poisson { mean_gap: mean }, 1, 20_000);
+        let total = trace.last().unwrap().as_nanos();
+        let avg = total as f64 / trace.len() as f64;
+        let want = mean.as_nanos() as f64;
+        assert!(
+            (avg - want).abs() < want * 0.1,
+            "avg gap {avg}ns vs mean {want}ns"
+        );
+    }
+
+    #[test]
+    fn on_off_traces_are_burstier_than_poisson_at_the_same_rate() {
+        // Same long-run rate; the on-off trace should pack many more
+        // arrivals into its densest window.
+        let n = 4_096;
+        let poisson = ArrivalGen::trace(
+            ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_micros(100),
+            },
+            5,
+            n,
+        );
+        let bursty = ArrivalGen::trace(
+            ArrivalProcess::OnOff {
+                burst_len: 32,
+                burst_gap: SimDuration::from_micros(2),
+                idle_gap: SimDuration::from_millis(3),
+            },
+            5,
+            n,
+        );
+        let densest = |trace: &[SimInstant], window: u64| {
+            let mut best = 0usize;
+            let mut lo = 0usize;
+            for hi in 0..trace.len() {
+                while trace[hi].as_nanos() - trace[lo].as_nanos() > window {
+                    lo += 1;
+                }
+                best = best.max(hi - lo + 1);
+            }
+            best
+        };
+        let window = SimDuration::from_micros(200).as_nanos();
+        assert!(
+            densest(&bursty, window) > 2 * densest(&poisson, window),
+            "on-off trace should spike harder: {} vs {}",
+            densest(&bursty, window),
+            densest(&poisson, window)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Admission control in front of the Guillotine fleet.
+//!
+//! Everything upstream of `serve_batch` shapes what the containment
+//! machinery ever sees. Until this crate, requests could only arrive as
+//! pre-formed synchronous waves; `guillotine-admit` gives the serving stack
+//! a real front edge:
+//!
+//! * **A bounded admission queue** ([`AdmissionController`]) accepts
+//!   individually-arriving requests, stamped at the door with arrival
+//!   time, priority class and an optional completion deadline
+//!   ([`EntryStamp`]).
+//! * **Continuous batch forming** under a pluggable [`BatchPolicy`]:
+//!   [`DeadlinePolicy`] forms batches earliest-deadline-first within
+//!   priority class with session-affinity grouping (so KV prefix locality
+//!   survives batching), while [`FifoWavePolicy`] reproduces the naive
+//!   fixed-size waves — and, at `wave = 1`, per-request admission — that
+//!   the `e17_admission` bench measures the deadline former against.
+//! * **Typed backpressure**: a full queue resolves each arrival through
+//!   its [`ShedPolicy`] into an explicit [`AdmissionDecision`] —
+//!   `Enqueued`, `Shed` (drop-lowest-priority, naming the victim) or
+//!   `Refused` (fail closed) — so producers always learn what happened.
+//! * **Reproducible arrival processes**: [`ArrivalGen`] turns a seed into
+//!   a deterministic Poisson or bursty on-off arrival trace
+//!   ([`ArrivalProcess`]), so open-loop load experiments replay exactly.
+//! * **SLO accounting**: [`AdmissionStats`] tracks queue depth (with high
+//!   water), waits, shed/refusal counts and deadline hits/misses; the
+//!   `guillotine` crate surfaces it through `FleetStats`/`FleetReport`.
+//!
+//! The crate is generic over the queued payload and depends only on
+//! `guillotine-types`; the `guillotine` umbrella crate wires it in front
+//! of `GuillotineFleet` as `FrontDoor`.
+//!
+//! # Ordering guarantee
+//!
+//! Whatever a policy selects, the controller never lets a request overtake
+//! an earlier request of the same session: batches preserve intra-session
+//! arrival order by construction.
+//!
+//! ```
+//! use guillotine_admit::{
+//!     AdmissionController, AdmissionDecision, DeadlinePolicy, ShedPolicy,
+//! };
+//! use guillotine_types::{SessionId, SimDuration, SimInstant};
+//!
+//! let mut queue: AdmissionController<&str> = AdmissionController::new(
+//!     2,
+//!     ShedPolicy::DropLowestPriority,
+//!     Box::new(DeadlinePolicy::default()),
+//! );
+//! let now = SimInstant::ZERO;
+//! queue.submit("urgent", SessionId::new(0), 2, None, now);
+//! queue.submit("bulk", SessionId::new(1), 0, None, now);
+//! // The queue is full: a normal-priority arrival sheds the bulk request.
+//! let decision = queue.submit("normal", SessionId::new(2), 1, None, now);
+//! assert!(matches!(decision, AdmissionDecision::Shed { admitted: Some(_), .. }));
+//! let batch = queue.flush(now.saturating_add(SimDuration::from_micros(5))).unwrap();
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch[0].payload, "urgent");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod policy;
+pub mod queue;
+pub mod stats;
+
+pub use arrival::{ArrivalGen, ArrivalProcess};
+pub use policy::{BatchPolicy, DeadlinePolicy, FifoWavePolicy};
+pub use queue::{AdmissionController, AdmissionDecision, Admitted, EntryStamp, ShedPolicy};
+pub use stats::AdmissionStats;

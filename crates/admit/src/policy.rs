@@ -1,0 +1,266 @@
+//! Pluggable batch-forming policies.
+//!
+//! A [`BatchPolicy`] answers two questions about the queued requests: *is it
+//! time to dispatch a batch* ([`BatchPolicy::ready`]) and *which requests go
+//! in it* ([`BatchPolicy::select`]). The queue itself stays dumb — it
+//! enforces capacity, shedding and intra-session ordering — so policies can
+//! be swapped to compare batch-forming strategies on identical arrival
+//! traces (the `e17_admission` bench does exactly that).
+
+use crate::queue::EntryStamp;
+use guillotine_types::{SimDuration, SimInstant};
+
+/// Decides when the queue dispatches and which entries form the batch.
+///
+/// `select` receives the queued entries in arrival order and returns the
+/// indices to dispatch, at most the policy's batch size. It must return a
+/// non-empty selection whenever the queue is non-empty (the controller
+/// falls back to the oldest entry otherwise, so a buggy policy degrades to
+/// FIFO instead of wedging the queue). Selected entries are always
+/// dispatched in arrival order; ordering *within* the batch is the serving
+/// layer's business, selection is the policy's.
+pub trait BatchPolicy {
+    /// True when a batch should be dispatched now.
+    fn ready(&self, queue: &[EntryStamp], now: SimInstant) -> bool;
+
+    /// Picks the queue indices forming the next batch.
+    fn select(&self, queue: &[EntryStamp], now: SimInstant) -> Vec<usize>;
+
+    /// A short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Deadline/priority-aware batch forming: earliest-deadline-first within
+/// priority class, with session-affinity grouping.
+///
+/// Dispatch fires when the queue can fill a whole batch, when the oldest
+/// entry has waited `max_wait`, or when any deadline is within `max_wait`
+/// of now (deadline pressure beats batch-filling greed). Selection ranks
+/// *sessions* by their most urgent entry — priority class first, then
+/// earliest deadline, then arrival — and, with `session_affinity` on, pulls
+/// a chosen session's queued requests into the batch together, in arrival
+/// order, so a multi-turn conversation's KV prefix stays warm instead of
+/// being smeared across waves.
+#[derive(Debug, Clone)]
+pub struct DeadlinePolicy {
+    /// Most requests in one formed batch.
+    pub max_batch: usize,
+    /// Longest a queued request may wait before forcing a dispatch.
+    pub max_wait: SimDuration,
+    /// Group same-session requests into the same batch.
+    pub session_affinity: bool,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        DeadlinePolicy {
+            max_batch: 32,
+            max_wait: SimDuration::from_millis(1),
+            session_affinity: true,
+        }
+    }
+}
+
+/// Urgency key: most urgent first when sorted ascending (higher class
+/// first, then earlier deadline, then earlier arrival; ticket id breaks
+/// final ties deterministically).
+fn urgency(stamp: &EntryStamp) -> (std::cmp::Reverse<u8>, SimInstant, SimInstant, u32) {
+    (
+        std::cmp::Reverse(stamp.class),
+        stamp.effective_deadline(),
+        stamp.arrival,
+        stamp.ticket.raw(),
+    )
+}
+
+impl BatchPolicy for DeadlinePolicy {
+    fn ready(&self, queue: &[EntryStamp], now: SimInstant) -> bool {
+        if queue.is_empty() {
+            return false;
+        }
+        if queue.len() >= self.max_batch.max(1) {
+            return true;
+        }
+        queue.iter().any(|e| {
+            // Aged past the wait budget, or close enough to its deadline
+            // that it must dispatch by now (deadline minus the wait
+            // budget standing in for the service-time slack).
+            now.duration_since(e.arrival) >= self.max_wait
+                || e.effective_deadline().saturating_sub(self.max_wait) <= now
+        })
+    }
+
+    fn select(&self, queue: &[EntryStamp], _now: SimInstant) -> Vec<usize> {
+        let limit = self.max_batch.max(1).min(queue.len());
+        if !self.session_affinity {
+            // Plain EDF within priority class over individual entries.
+            let mut order: Vec<usize> = (0..queue.len()).collect();
+            order.sort_by_key(|&i| urgency(&queue[i]));
+            order.truncate(limit);
+            return order;
+        }
+        // Group entries by session, preserving arrival order inside each
+        // group, and rank sessions by their most urgent member.
+        let mut groups: Vec<(SimInstantKey, Vec<usize>)> = Vec::new();
+        let mut by_session: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for (i, stamp) in queue.iter().enumerate() {
+            let key = urgency(stamp);
+            match by_session.get(&stamp.session.raw()) {
+                Some(&g) => {
+                    groups[g].1.push(i);
+                    if key < groups[g].0 {
+                        groups[g].0 = key;
+                    }
+                }
+                None => {
+                    by_session.insert(stamp.session.raw(), groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+        groups.sort_by_key(|group| group.0);
+        let mut selected = Vec::with_capacity(limit);
+        for (_, members) in &groups {
+            for &i in members {
+                if selected.len() == limit {
+                    return selected;
+                }
+                selected.push(i);
+            }
+        }
+        selected
+    }
+
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+}
+
+type SimInstantKey = (std::cmp::Reverse<u8>, SimInstant, SimInstant, u32);
+
+/// Naive fixed-size waves: dispatch the oldest `wave` requests as soon as
+/// `wave` of them are queued, first-come first-served, blind to priority,
+/// deadlines and sessions. `wave = 1` is per-request admission — the
+/// no-batching baseline the `e17_admission` bench measures the deadline
+/// former against.
+#[derive(Debug, Clone, Copy)]
+pub struct FifoWavePolicy {
+    /// Fixed wave size (clamped to at least 1).
+    pub wave: usize,
+}
+
+impl FifoWavePolicy {
+    /// Per-request admission: every arrival dispatches alone.
+    pub fn per_request() -> Self {
+        FifoWavePolicy { wave: 1 }
+    }
+}
+
+impl BatchPolicy for FifoWavePolicy {
+    fn ready(&self, queue: &[EntryStamp], _now: SimInstant) -> bool {
+        queue.len() >= self.wave.max(1)
+    }
+
+    fn select(&self, queue: &[EntryStamp], _now: SimInstant) -> Vec<usize> {
+        (0..self.wave.max(1).min(queue.len())).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-wave"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guillotine_types::{SessionId, TicketId};
+
+    fn stamp(
+        ticket: u32,
+        session: u32,
+        class: u8,
+        arrival: u64,
+        deadline: Option<u64>,
+    ) -> EntryStamp {
+        EntryStamp {
+            ticket: TicketId::new(ticket),
+            session: SessionId::new(session),
+            class,
+            arrival: SimInstant::from_nanos(arrival),
+            deadline: deadline.map(SimInstant::from_nanos),
+        }
+    }
+
+    #[test]
+    fn deadline_policy_fires_on_full_batch_wait_or_deadline_pressure() {
+        let policy = DeadlinePolicy {
+            max_batch: 2,
+            max_wait: SimDuration::from_micros(10),
+            session_affinity: true,
+        };
+        let now = SimInstant::from_nanos(1_000);
+        assert!(!policy.ready(&[], now));
+        // One fresh entry with a far deadline: not ready.
+        let fresh = [stamp(0, 0, 1, 1_000, Some(1_000_000))];
+        assert!(!policy.ready(&fresh, now));
+        // Full batch: ready.
+        let full = [fresh[0], stamp(1, 1, 1, 1_000, None)];
+        assert!(policy.ready(&full, now));
+        // Aged entry: ready.
+        let aged = [stamp(0, 0, 1, 0, None)];
+        assert!(policy.ready(&aged, SimInstant::from_nanos(10_000)));
+        // Imminent deadline: ready.
+        let urgent = [stamp(0, 0, 1, 1_000, Some(2_000))];
+        assert!(policy.ready(&urgent, now));
+    }
+
+    #[test]
+    fn deadline_policy_ranks_class_then_deadline() {
+        let policy = DeadlinePolicy {
+            max_batch: 2,
+            max_wait: SimDuration::from_micros(10),
+            session_affinity: false,
+        };
+        let queue = [
+            stamp(0, 0, 0, 0, Some(5_000)),  // low class, urgent deadline
+            stamp(1, 1, 2, 10, Some(9_000)), // high class
+            stamp(2, 2, 1, 20, Some(1_000)), // mid class, most urgent deadline
+        ];
+        let picked = policy.select(&queue, SimInstant::from_nanos(100));
+        assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn session_affinity_groups_a_conversation_into_one_batch() {
+        let policy = DeadlinePolicy {
+            max_batch: 3,
+            max_wait: SimDuration::from_micros(10),
+            session_affinity: true,
+        };
+        // Session 7 has two queued turns; session 8 arrived in between with
+        // the same class and no tighter deadline.
+        let queue = [
+            stamp(0, 7, 1, 0, None),
+            stamp(1, 8, 1, 5, None),
+            stamp(2, 7, 1, 10, None),
+        ];
+        let picked = policy.select(&queue, SimInstant::from_nanos(100));
+        // Session 7's turns travel together, in arrival order.
+        assert_eq!(picked, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn fifo_wave_takes_the_oldest_wave() {
+        let policy = FifoWavePolicy { wave: 2 };
+        let queue = [
+            stamp(0, 0, 0, 0, None),
+            stamp(1, 1, 2, 1, None),
+            stamp(2, 2, 1, 2, None),
+        ];
+        let now = SimInstant::ZERO;
+        assert!(policy.ready(&queue, now));
+        assert_eq!(policy.select(&queue, now), vec![0, 1]);
+        assert!(!FifoWavePolicy::per_request().ready(&[], now));
+    }
+}

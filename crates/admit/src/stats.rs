@@ -1,0 +1,103 @@
+//! Admission-tier statistics and SLO accounting.
+
+use guillotine_types::{Gauge, SimDuration};
+
+/// Counters and SLO aggregates for one admission queue.
+///
+/// Everything here is integral so the struct stays `Eq`-comparable (it is
+/// embedded in `FleetStats`, which experiments compare for equality); rates
+/// and means are derived on read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests offered to the queue, whatever their fate.
+    pub submitted: u64,
+    /// Requests accepted into the queue (including ones that later shed a
+    /// weaker victim to get in).
+    pub enqueued: u64,
+    /// Requests turned away at the door by a full, fail-closed queue.
+    pub refused: u64,
+    /// Requests dropped by the shed policy — the incoming request or a
+    /// weaker queued victim it displaced.
+    pub shed: u64,
+    /// Requests handed to the fleet in formed batches.
+    pub dispatched: u64,
+    /// Batches formed.
+    pub batches: u64,
+    /// Queue depth, with its high-water mark.
+    pub depth: Gauge,
+    /// Total simulated time dispatched requests spent queued.
+    pub wait_total: SimDuration,
+    /// Longest simulated queue wait of any dispatched request.
+    pub wait_max: SimDuration,
+    /// Served requests that carried a deadline.
+    pub deadlines_tracked: u64,
+    /// Served requests that completed at or before their deadline.
+    pub deadlines_met: u64,
+    /// Served requests that completed after their deadline.
+    pub deadlines_missed: u64,
+}
+
+impl AdmissionStats {
+    /// Mean queue wait across dispatched requests (zero if none).
+    pub fn mean_wait(&self) -> SimDuration {
+        match self.wait_total.as_nanos().checked_div(self.dispatched) {
+            Some(mean) => SimDuration::from_nanos(mean),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Fraction of deadline-carrying served requests that missed (zero if
+    /// none carried deadlines).
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadlines_tracked == 0 {
+            0.0
+        } else {
+            self.deadlines_missed as f64 / self.deadlines_tracked as f64
+        }
+    }
+
+    /// Fraction of submitted requests dropped by shedding.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Mean formed-batch size (zero if no batch was formed).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.dispatched as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_empty_and_populated_stats() {
+        let mut s = AdmissionStats::default();
+        assert_eq!(s.mean_wait(), SimDuration::ZERO);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.shed_rate(), 0.0);
+        assert_eq!(s.mean_batch(), 0.0);
+
+        s.submitted = 10;
+        s.shed = 2;
+        s.dispatched = 8;
+        s.batches = 2;
+        s.wait_total = SimDuration::from_micros(80);
+        s.deadlines_tracked = 4;
+        s.deadlines_missed = 1;
+        s.deadlines_met = 3;
+        assert_eq!(s.mean_wait(), SimDuration::from_micros(10));
+        assert_eq!(s.miss_rate(), 0.25);
+        assert_eq!(s.shed_rate(), 0.2);
+        assert_eq!(s.mean_batch(), 4.0);
+    }
+}

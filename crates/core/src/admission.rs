@@ -1,0 +1,510 @@
+//! The admission tier: an asynchronous front door for a [`GuillotineFleet`].
+//!
+//! Until this module, the fleet only saw pre-formed synchronous
+//! `serve_batch` waves. A [`FrontDoor`] puts the `guillotine-admit`
+//! subsystem in front of it:
+//!
+//! ```text
+//!             submit / submit_at                    pump / drain
+//! producers ───────────────────▶ admission queue ───────────────▶ fleet
+//!             ◀── AdmissionDecision   │  batch former             shards
+//!                 (Enqueued /         │  (BatchPolicy:            │
+//!                  Shed /             │   deadline + priority +   ▼
+//!                  Refused)           │   session affinity)    responses
+//! ```
+//!
+//! Requests arrive **individually**, stamped at the door with arrival
+//! time, priority class (from [`ServePriority`]) and an optional deadline.
+//! The batch former turns the queue into fleet batches continuously; a
+//! full queue backpressures producers through typed
+//! [`AdmissionDecision`]s. Deadline hits/misses, queue waits, depth and
+//! shed counts flow into [`AdmissionStats`], surfaced via
+//! [`FleetStats::admission`](crate::fleet::FleetStats) and rendered by
+//! `FleetReport`.
+//!
+//! Serving through the front door is **byte-identical** to calling
+//! `serve_batch` directly with the same requests (property-tested in
+//! `tests/admission.rs`): batch forming decides grouping and timing, never
+//! content. The real queue wait is added to each response's
+//! `latency.queue`, and under [`RoutingPolicy::LeastLoaded`](crate::fleet::RoutingPolicy)
+//! the door keeps [`GuillotineFleet::set_queued_load`] in sync so routing
+//! counts waiting work as load.
+
+use crate::fleet::{FleetReport, FleetStats, GuillotineFleet, RoutingPolicy};
+use crate::serve::{ServeRequest, ServeResponse};
+use guillotine_admit::{
+    AdmissionController, AdmissionDecision, AdmissionStats, Admitted, BatchPolicy, DeadlinePolicy,
+    ShedPolicy,
+};
+use guillotine_types::{Result, SimDuration, SimInstant, TicketId};
+use std::collections::HashMap;
+
+/// Sizing and backpressure configuration of a [`FrontDoor`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Queue capacity: arrivals beyond it are resolved by `shed`.
+    pub capacity: usize,
+    /// What a full queue does with the next arrival.
+    pub shed: ShedPolicy,
+    /// Deadline stamped on requests submitted without an explicit one
+    /// (`None` leaves them deadline-free).
+    pub default_deadline: Option<SimDuration>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: 256,
+            shed: ShedPolicy::FailClosed,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One arrival of an open-loop trace: a request, when it reaches the door,
+/// and the completion deadline it carries.
+#[derive(Debug, Clone)]
+pub struct TimedArrival {
+    /// Simulated arrival instant (traces must be non-decreasing; the clock
+    /// never moves backwards regardless).
+    pub at: SimInstant,
+    /// The arriving request.
+    pub request: ServeRequest,
+    /// Completion budget measured from arrival (`None` falls back to the
+    /// door's default deadline).
+    pub deadline: Option<SimDuration>,
+}
+
+/// A [`GuillotineFleet`] behind an admission queue and batch former.
+pub struct FrontDoor {
+    fleet: GuillotineFleet,
+    controller: AdmissionController<ServeRequest>,
+    default_deadline: Option<SimDuration>,
+    /// Predicted queued-but-unserved load per shard, maintained
+    /// incrementally on enqueue/shed/dispatch and mirrored into the fleet
+    /// for admission-aware `LeastLoaded` routing. Each queued request is
+    /// charged to the shard the router would place it on right now
+    /// (waterfill over the least-loaded shards), recorded per ticket in
+    /// `queued_placements` so the exact slot is released when the request
+    /// leaves the queue. Only maintained for `LeastLoaded` fleets — no
+    /// other policy reads queued load.
+    queued_by_shard: Vec<u64>,
+    queued_placements: HashMap<u32, usize>,
+}
+
+impl FrontDoor {
+    /// Puts `fleet` behind an admission queue with the given sizing and
+    /// batch former.
+    pub fn new(
+        fleet: GuillotineFleet,
+        config: AdmissionConfig,
+        policy: Box<dyn BatchPolicy>,
+    ) -> Self {
+        let queued_by_shard = vec![0; fleet.shard_count()];
+        FrontDoor {
+            fleet,
+            controller: AdmissionController::new(config.capacity, config.shed, policy),
+            default_deadline: config.default_deadline,
+            queued_by_shard,
+            queued_placements: HashMap::new(),
+        }
+    }
+
+    /// The default front door: deadline/priority batch forming with
+    /// session affinity ([`DeadlinePolicy::default`]) over the default
+    /// [`AdmissionConfig`].
+    pub fn deadline_aware(fleet: GuillotineFleet) -> Self {
+        FrontDoor::new(
+            fleet,
+            AdmissionConfig::default(),
+            Box::new(DeadlinePolicy::default()),
+        )
+    }
+
+    /// The fleet behind the door.
+    pub fn fleet(&self) -> &GuillotineFleet {
+        &self.fleet
+    }
+
+    /// Mutable access to the fleet (console interventions, fault
+    /// injection).
+    pub fn fleet_mut(&mut self) -> &mut GuillotineFleet {
+        &mut self.fleet
+    }
+
+    /// Tears the door down, returning the fleet. Anything still queued is
+    /// dropped; call [`FrontDoor::drain`] first to serve it.
+    pub fn into_fleet(self) -> GuillotineFleet {
+        self.fleet
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.controller.depth()
+    }
+
+    /// Admission statistics so far.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.controller.stats()
+    }
+
+    /// The current simulated time at the door (the fleet clock).
+    pub fn now(&self) -> SimInstant {
+        self.fleet.clock.now()
+    }
+
+    /// Offers one request to the queue at the current simulated time, with
+    /// the door's default deadline.
+    pub fn submit(&mut self, request: ServeRequest) -> AdmissionDecision {
+        self.submit_with_deadline(request, None)
+    }
+
+    /// Offers one request with an explicit completion budget measured from
+    /// now; `None` falls back to the door's default deadline (so a
+    /// configured default applies through every submission entry point).
+    pub fn submit_with_deadline(
+        &mut self,
+        request: ServeRequest,
+        deadline: Option<SimDuration>,
+    ) -> AdmissionDecision {
+        let now = self.fleet.clock.now();
+        self.submit_at(request, deadline, now)
+    }
+
+    /// Submits a request that arrived at `arrival` — the open-loop entry
+    /// point for arrival traces. An idle fleet's clock advances to the
+    /// arrival; a fleet already busy *past* it keeps its clock, and the
+    /// request is stamped with its true arrival anyway: it has been
+    /// waiting since then, its queue wait includes the time the server was
+    /// busy, and its deadline budget runs from when it arrived — not from
+    /// when the server got around to looking.
+    pub fn submit_at(
+        &mut self,
+        request: ServeRequest,
+        deadline: Option<SimDuration>,
+        arrival: SimInstant,
+    ) -> AdmissionDecision {
+        self.fleet.clock.advance_to(arrival);
+        let session = request.session;
+        let class = request.priority.class();
+        let deadline = deadline
+            .or(self.default_deadline)
+            .map(|budget| arrival.saturating_add(budget));
+        let decision = self
+            .controller
+            .submit(request, session, class, deadline, arrival);
+        // Keep the fleet's queued-load projection current incrementally:
+        // release a shed victim's slot, charge the admitted request's.
+        match decision {
+            AdmissionDecision::Enqueued { ticket, .. } => {
+                self.note_enqueued(ticket);
+            }
+            AdmissionDecision::Shed {
+                victim, admitted, ..
+            } => {
+                if let Some(ticket) = admitted {
+                    self.note_removed(victim);
+                    self.note_enqueued(ticket);
+                }
+            }
+            AdmissionDecision::Refused { .. } => {}
+        }
+        decision
+    }
+
+    /// Lets the batch former dispatch every batch it considers ready,
+    /// serving each through the fleet. Returns the responses in dispatch
+    /// order (correlate by session). Call after submissions and whenever
+    /// simulated time has advanced.
+    pub fn pump(&mut self) -> Result<Vec<ServeResponse>> {
+        let mut responses = Vec::new();
+        while let Some(batch) = self.step()? {
+            responses.extend(batch);
+        }
+        Ok(responses)
+    }
+
+    /// Forms and serves at most one batch; `None` when the former is not
+    /// ready. [`FrontDoor::play`] uses this to interleave newly-passed
+    /// arrivals between consecutive batches.
+    fn step(&mut self) -> Result<Option<Vec<ServeResponse>>> {
+        match self.controller.form(self.fleet.clock.now()) {
+            Some(batch) => Ok(Some(self.serve(batch)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Serves everything still queued, ignoring the batch former's timing
+    /// gate (it still shapes batch composition). The queue is empty
+    /// afterwards.
+    pub fn drain(&mut self) -> Result<Vec<ServeResponse>> {
+        let mut responses = Vec::new();
+        while let Some(batch) = self.controller.flush(self.fleet.clock.now()) {
+            responses.extend(self.serve(batch)?);
+        }
+        Ok(responses)
+    }
+
+    /// Plays an open-loop arrival trace end to end and returns every
+    /// admission decision (in arrival order) plus every response (in
+    /// dispatch order).
+    ///
+    /// Arrivals are delivered in timestamp order, but serving takes
+    /// simulated time — so between any two formed batches, every request
+    /// whose arrival time has passed joins the queue first. That is what
+    /// makes the trace genuinely open-loop: a burst that lands while the
+    /// fleet is mid-batch is waiting in the queue when the batch finishes,
+    /// exactly as it would with real concurrent producers, instead of
+    /// trickling in one per serve call.
+    pub fn play(
+        &mut self,
+        trace: Vec<TimedArrival>,
+    ) -> Result<(Vec<AdmissionDecision>, Vec<ServeResponse>)> {
+        let mut decisions = Vec::with_capacity(trace.len());
+        let mut responses = Vec::new();
+        let mut pending = trace.into_iter().peekable();
+        while let Some(arrival) = pending.next() {
+            decisions.push(self.submit_at(arrival.request, arrival.deadline, arrival.at));
+            loop {
+                // Everything that has arrived by now joins the queue
+                // before the former runs again.
+                while pending
+                    .peek()
+                    .is_some_and(|next| next.at <= self.fleet.clock.now())
+                {
+                    let arrival = pending.next().expect("peeked");
+                    decisions.push(self.submit_at(arrival.request, arrival.deadline, arrival.at));
+                }
+                match self.step()? {
+                    Some(batch) => responses.extend(batch),
+                    None => break,
+                }
+            }
+        }
+        responses.extend(self.drain()?);
+        Ok((decisions, responses))
+    }
+
+    /// Serves one formed batch through the fleet and settles accounting:
+    /// queued-load release, queue wait added to each response's latency,
+    /// and deadline hit/miss recording against the batch completion time.
+    fn serve(&mut self, batch: Vec<Admitted<ServeRequest>>) -> Result<Vec<ServeResponse>> {
+        let mut stamps = Vec::with_capacity(batch.len());
+        let mut requests = Vec::with_capacity(batch.len());
+        for admitted in batch {
+            self.note_removed(admitted.stamp.ticket);
+            stamps.push((admitted.stamp, admitted.dispatched));
+            requests.push(admitted.payload);
+        }
+        self.push_queued_load();
+        let mut responses = self.fleet.serve_batch(requests)?;
+        let completed = self.fleet.clock.now();
+        for ((stamp, dispatched), response) in stamps.iter().zip(responses.iter_mut()) {
+            let wait = dispatched.duration_since(stamp.arrival);
+            response.latency.queue = response.latency.queue.saturating_add(wait);
+            self.controller.record_served(stamp, completed);
+        }
+        Ok(responses)
+    }
+
+    /// Charges a freshly-queued request to the shard `LeastLoaded` would
+    /// place it on right now, and remembers the placement by ticket. The
+    /// push happens first-thing so the *next* prediction sees this one —
+    /// queued requests waterfill across shards exactly as the router will
+    /// spread them at dispatch.
+    fn note_enqueued(&mut self, ticket: TicketId) {
+        if self.fleet.routing() != RoutingPolicy::LeastLoaded {
+            return;
+        }
+        let shard = self.fleet.least_loaded_shard();
+        self.queued_by_shard[shard] += 1;
+        self.queued_placements.insert(ticket.raw(), shard);
+        self.push_queued_load();
+    }
+
+    /// Releases a queued request's predicted load slot (shed victim or
+    /// dispatched entry). The caller pushes when it is done mutating.
+    fn note_removed(&mut self, ticket: TicketId) {
+        if let Some(shard) = self.queued_placements.remove(&ticket.raw()) {
+            self.queued_by_shard[shard] = self.queued_by_shard[shard].saturating_sub(1);
+        }
+    }
+
+    /// Mirrors the incrementally-maintained per-shard queued counts into
+    /// the fleet, so `LeastLoaded` routing and the admission queue agree
+    /// on load. Only that policy ever reads the projection, so other
+    /// fleets skip the write.
+    fn push_queued_load(&mut self) {
+        if self.fleet.routing() != RoutingPolicy::LeastLoaded {
+            return;
+        }
+        let load = std::mem::take(&mut self.queued_by_shard);
+        self.fleet.set_queued_load(&load);
+        self.queued_by_shard = load;
+    }
+
+    /// Fleet statistics with the admission tier filled in.
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = self.fleet.stats();
+        stats.admission = Some(self.controller.stats());
+        stats
+    }
+
+    /// A rendered fleet report including the admission/SLO section.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            stats: self.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::RoutingPolicy;
+    use crate::serve::ServePriority;
+    use guillotine_admit::FifoWavePolicy;
+    use guillotine_types::SessionId;
+
+    fn benign(i: u32) -> ServeRequest {
+        ServeRequest::new(format!("Summarize item {i}.")).with_session(SessionId::new(i))
+    }
+
+    fn door(capacity: usize, shed: ShedPolicy) -> FrontDoor {
+        let fleet = GuillotineFleet::builder().with_shards(2).build().unwrap();
+        FrontDoor::new(
+            fleet,
+            AdmissionConfig {
+                capacity,
+                shed,
+                default_deadline: None,
+            },
+            Box::new(DeadlinePolicy {
+                max_batch: 4,
+                max_wait: SimDuration::from_millis(1),
+                session_affinity: true,
+            }),
+        )
+    }
+
+    #[test]
+    fn submissions_queue_until_the_former_is_ready() {
+        let mut d = door(16, ShedPolicy::FailClosed);
+        for i in 0..3 {
+            assert!(d.submit(benign(i)).admitted());
+        }
+        assert_eq!(d.queue_depth(), 3);
+        // Three queued, batch of four not reached, nothing has aged: the
+        // pump serves nothing yet.
+        assert!(d.pump().unwrap().is_empty());
+        assert!(d.submit(benign(3)).admitted());
+        let responses = d.pump().unwrap();
+        assert_eq!(responses.len(), 4);
+        assert!(responses.iter().all(|r| r.delivered()));
+        assert_eq!(d.queue_depth(), 0);
+        let stats = d.stats();
+        let admission = stats.admission.unwrap();
+        assert_eq!(admission.dispatched, 4);
+        assert_eq!(admission.batches, 1);
+    }
+
+    #[test]
+    fn queue_wait_joins_the_latency_breakdown() {
+        let mut d = door(16, ShedPolicy::FailClosed);
+        d.submit(benign(0));
+        // Advance the fleet clock past max_wait, then pump: the response
+        // must carry the real queue wait on top of the fixed batch latency.
+        d.fleet_mut().clock.advance(SimDuration::from_millis(5));
+        let responses = d.pump().unwrap();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].latency.queue >= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn full_queue_fails_closed_or_sheds_by_policy() {
+        let mut closed = door(2, ShedPolicy::FailClosed);
+        assert!(closed.submit(benign(0)).admitted());
+        assert!(closed.submit(benign(1)).admitted());
+        assert!(matches!(
+            closed.submit(benign(2)),
+            AdmissionDecision::Refused { depth: 2 }
+        ));
+
+        let mut shedding = door(2, ShedPolicy::DropLowestPriority);
+        shedding.submit(benign(0).with_priority(ServePriority::Batch));
+        shedding.submit(benign(1).with_priority(ServePriority::Interactive));
+        let decision = shedding.submit(benign(2));
+        assert!(matches!(
+            decision,
+            AdmissionDecision::Shed {
+                admitted: Some(_),
+                victim_session,
+                ..
+            } if victim_session == SessionId::new(0)
+        ));
+        assert_eq!(shedding.admission_stats().shed, 1);
+    }
+
+    #[test]
+    fn deadline_misses_are_tracked_against_completion() {
+        let mut d = door(16, ShedPolicy::FailClosed);
+        // A deadline far too tight to survive even one batch: miss.
+        d.submit_with_deadline(benign(0), Some(SimDuration::from_nanos(1)));
+        // A generous deadline: met.
+        d.submit_with_deadline(benign(1), Some(SimDuration::from_secs(60)));
+        let responses = d.drain().unwrap();
+        assert_eq!(responses.len(), 2);
+        let stats = d.admission_stats();
+        assert_eq!(stats.deadlines_tracked, 2);
+        assert_eq!(stats.deadlines_missed, 1);
+        assert_eq!(stats.deadlines_met, 1);
+    }
+
+    #[test]
+    fn least_loaded_routing_sees_the_queue() {
+        let fleet = GuillotineFleet::builder()
+            .with_shards(2)
+            .with_routing(RoutingPolicy::LeastLoaded)
+            .build()
+            .unwrap();
+        let mut d = FrontDoor::new(
+            fleet,
+            AdmissionConfig::default(),
+            Box::new(FifoWavePolicy { wave: 64 }),
+        );
+        // Queued requests are charged to the shard the router would pick,
+        // waterfilling across shards — the projection predicts placement
+        // rather than piling phantom load on a hash-derived home.
+        for i in 0..6 {
+            d.submit(benign(i));
+        }
+        assert_eq!(d.fleet().queued_load(), &[3, 3]);
+        let responses = d.drain().unwrap();
+        assert_eq!(responses.len(), 6);
+        assert_eq!(d.fleet().queued_load(), &[0, 0]);
+        // And the router indeed spread the dispatched work evenly.
+        let stats = d.stats();
+        assert_eq!(stats.shards[0].routed, 3);
+        assert_eq!(stats.shards[1].routed, 3);
+    }
+
+    #[test]
+    fn play_runs_an_open_loop_trace_to_completion() {
+        let mut d = door(16, ShedPolicy::FailClosed);
+        let trace: Vec<TimedArrival> = (0..10)
+            .map(|i| TimedArrival {
+                at: SimInstant::from_nanos(i as u64 * 1_000),
+                request: benign(i),
+                deadline: Some(SimDuration::from_secs(1)),
+            })
+            .collect();
+        let (decisions, responses) = d.play(trace).unwrap();
+        assert_eq!(decisions.len(), 10);
+        assert!(decisions.iter().all(|d| d.admitted()));
+        assert_eq!(responses.len(), 10);
+        assert_eq!(d.queue_depth(), 0);
+        let rendered = d.report().render();
+        assert!(rendered.contains("admission queue"));
+        assert!(rendered.contains("deadlines"));
+    }
+}

@@ -51,6 +51,7 @@ use crate::builder::DeploymentBuilder;
 use crate::deployment::{DeploymentConfig, GuillotineDeployment};
 use crate::report::Table;
 use crate::serve::{ServeOutcomeKind, ServeRequest, ServeResponse};
+use guillotine_admit::AdmissionStats;
 use guillotine_detect::{DetectorRegistry, InputShield, OutputSanitizer};
 use guillotine_model::{KvCacheConfig, KvTier, KvTierStats};
 use guillotine_physical::{Datacenter, IsolationLevel};
@@ -76,8 +77,11 @@ pub enum RoutingPolicy {
     SessionAffinity,
     /// Healthy shards in rotation, ignoring sessions.
     RoundRobin,
-    /// The healthy shard that has been routed the fewest requests so far
-    /// (ties broken by lowest shard index).
+    /// The healthy shard with the least load, where load is the requests
+    /// routed so far **plus** the requests queued for the shard in the
+    /// admission tier (set through [`GuillotineFleet::set_queued_load`], so
+    /// the router and the admission queue agree on what "loaded" means).
+    /// Ties break deterministically on the lowest shard index.
     LeastLoaded,
 }
 
@@ -182,6 +186,10 @@ pub struct FleetStats {
     pub rehomed_kv_hits: u64,
     /// Re-homed requests that missed the KV tier (see `rehomed_kv_hits`).
     pub rehomed_kv_misses: u64,
+    /// Admission-tier statistics, when the fleet serves behind a
+    /// [`FrontDoor`](crate::admission::FrontDoor) (`None` for fleets driven
+    /// directly through `serve_batch`).
+    pub admission: Option<AdmissionStats>,
 }
 
 impl FleetStats {
@@ -272,8 +280,28 @@ impl FleetReport {
             ),
             None => String::new(),
         };
+        let admission_line = match &self.stats.admission {
+            Some(a) => format!(
+                "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n",
+                a.depth.current(),
+                a.depth.high_water(),
+                a.dispatched,
+                a.batches,
+                a.mean_batch(),
+                a.mean_wait(),
+                a.wait_max,
+                a.deadlines_tracked,
+                a.deadlines_met,
+                a.deadlines_missed,
+                a.miss_rate() * 100.0,
+                a.shed,
+                a.refused,
+                a.submitted,
+            ),
+            None => String::new(),
+        };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n{}",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n{}{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -284,6 +312,7 @@ impl FleetReport {
             totals.refused,
             totals.escalated,
             kv_line,
+            admission_line,
         )
     }
 }
@@ -391,6 +420,9 @@ pub struct GuillotineFleet {
     datacenter: Datacenter,
     round_robin: u64,
     requeued: u64,
+    /// Per-shard queued-but-unserved request counts, maintained by the
+    /// admission tier so `LeastLoaded` routing sees waiting work too.
+    queued_load: Vec<u64>,
     kv: Option<Arc<KvTier>>,
     invalidate_kv_on_quarantine: bool,
     rehomed_kv_hits: u64,
@@ -459,12 +491,14 @@ impl GuillotineFleet {
                 outcomes: OutcomeHistogram::default(),
             });
         }
+        let shard_count = shards.len();
         Ok(GuillotineFleet {
             shards,
             routing: config.routing,
             datacenter,
             round_robin: 0,
             requeued: 0,
+            queued_load: vec![0; shard_count],
             kv,
             invalidate_kv_on_quarantine,
             rehomed_kv_hits: 0,
@@ -522,6 +556,47 @@ impl GuillotineFleet {
         self.kv.as_ref()
     }
 
+    /// A session's stable home shard — the session-affinity hash target,
+    /// ignoring quarantines. The admission tier uses this to project queued
+    /// requests onto shards for [`GuillotineFleet::set_queued_load`].
+    pub fn home_shard(&self, session: SessionId) -> usize {
+        (stable_session_hash(session) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard [`RoutingPolicy::LeastLoaded`] would pick right now: the
+    /// healthy shard with the least routed-plus-queued load, ties broken
+    /// deterministically on the lowest index (shard 0 if everything is
+    /// quarantined — admission there fails closed). The admission tier
+    /// uses this to *predict* where queued requests will land, so the
+    /// queued-load projection it reports matches the router's actual
+    /// placement instead of biasing it with phantom load.
+    pub fn least_loaded_shard(&self) -> usize {
+        let queued = &self.queued_load;
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.quarantined)
+            .min_by_key(|(idx, s)| (s.routed + queued.get(*idx).copied().unwrap_or(0), *idx))
+            .map(|(idx, _)| idx)
+            .unwrap_or(0)
+    }
+
+    /// Reports how many admitted-but-unserved requests currently wait for
+    /// each shard, so [`RoutingPolicy::LeastLoaded`] counts queued work as
+    /// load. Entries beyond the shard count are ignored; missing entries
+    /// count as zero. The admission tier keeps this in sync on every
+    /// enqueue and dispatch.
+    pub fn set_queued_load(&mut self, load: &[u64]) {
+        for (index, slot) in self.queued_load.iter_mut().enumerate() {
+            *slot = load.get(index).copied().unwrap_or(0);
+        }
+    }
+
+    /// The queued-load vector last reported by the admission tier.
+    pub fn queued_load(&self) -> &[u64] {
+        &self.queued_load
+    }
+
     /// Marks a shard quarantined, dropping its KV blocks if the fleet was
     /// configured to prefer containment over cache locality (idempotent per
     /// quarantine episode).
@@ -572,7 +647,7 @@ impl GuillotineFleet {
     /// target in one hash.
     fn affinity_route(&self, session: SessionId) -> (usize, usize) {
         let n = self.shards.len();
-        let home = (stable_session_hash(session) % n as u64) as usize;
+        let home = self.home_shard(session);
         if !self.shards[home].quarantined {
             return (home, home);
         }
@@ -612,16 +687,7 @@ impl GuillotineFleet {
                 // All quarantined: fail closed on shard 0's admission check.
                 (0, false)
             }
-            RoutingPolicy::LeastLoaded => (
-                self.shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| !s.quarantined)
-                    .min_by_key(|(idx, s)| (s.routed, *idx))
-                    .map(|(idx, _)| idx)
-                    .unwrap_or(0),
-                false,
-            ),
+            RoutingPolicy::LeastLoaded => (self.least_loaded_shard(), false),
         }
     }
 
@@ -879,6 +945,7 @@ impl GuillotineFleet {
             kv: self.kv.as_ref().map(|tier| tier.stats()),
             rehomed_kv_hits: self.rehomed_kv_hits,
             rehomed_kv_misses: self.rehomed_kv_misses,
+            admission: None,
             // Computed from each shard's live plant (not the lazily-synced
             // fleet mirror), so stats are truthful even right after an
             // out-of-band intervention through `shard_mut`.
@@ -970,6 +1037,27 @@ mod tests {
         assert_eq!(responses.len(), 8);
         let stats = fleet.stats();
         assert!(stats.shards.iter().all(|s| s.routed == 2));
+    }
+
+    #[test]
+    fn least_loaded_counts_queued_work_as_load() {
+        let mut fleet = GuillotineFleet::builder()
+            .with_shards(2)
+            .with_routing(RoutingPolicy::LeastLoaded)
+            .build()
+            .unwrap();
+        // Both shards have served nothing, but shard 0 has three requests
+        // waiting in the admission queue: new traffic must route to shard 1.
+        fleet.set_queued_load(&[3, 0]);
+        fleet.serve_batch(vec![benign(0)]).unwrap();
+        let stats = fleet.stats();
+        assert_eq!(stats.shards[0].routed, 0);
+        assert_eq!(stats.shards[1].routed, 1);
+        // With the queue drained the tie (1 routed + 0 queued vs 0 + 1... )
+        // resolves by total load again; shard 0 is now strictly lighter.
+        fleet.set_queued_load(&[0, 0]);
+        fleet.serve_batch(vec![benign(1)]).unwrap();
+        assert_eq!(fleet.stats().shards[0].routed, 1);
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!   [`deployment::GuillotineDeployment::serve_batch`] amortizes input
 //!   shielding, the system-anomaly snapshot and the forward-pass weight
 //!   sweep across a whole batch; `serve_prompt` is a batch of one.
+//! * [`admission`] — [`admission::FrontDoor`] puts the `guillotine-admit`
+//!   subsystem in front of a fleet: a bounded queue accepts
+//!   individually-arriving requests (arrival/deadline/priority-stamped),
+//!   a pluggable batch former turns them into fleet batches continuously
+//!   (deadline/priority-aware with session affinity by default), and a
+//!   full queue backpressures producers through typed
+//!   `AdmissionDecision`s (E17 measures the batching win and the SLO
+//!   trade-offs).
 //! * [`fleet`] — [`fleet::GuillotineFleet`] shards the batched front door
 //!   across N deployments, each its own machine with its own console
 //!   registration and detector stack. Requests route by session affinity
@@ -78,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod builder;
 pub mod campaign;
 pub mod deployment;
@@ -86,6 +95,7 @@ pub mod fleet;
 pub mod report;
 pub mod serve;
 
+pub use admission::{AdmissionConfig, FrontDoor, TimedArrival};
 pub use builder::DeploymentBuilder;
 pub use campaign::{run_escape_campaign, AttackOutcome, CampaignReport};
 pub use deployment::{DeploymentConfig, GuillotineDeployment};
@@ -102,3 +112,11 @@ pub use serve::{
 // The KV tier types, re-exported so serving callers (and the benches) can
 // size and share a tier without depending on `guillotine-model` directly.
 pub use guillotine_model::{KvCacheConfig, KvLookup, KvTier, KvTierStats};
+
+// The admission-tier vocabulary, re-exported so front-door callers can
+// configure policies and read decisions without depending on
+// `guillotine-admit` directly.
+pub use guillotine_admit::{
+    AdmissionDecision, AdmissionStats, ArrivalGen, ArrivalProcess, BatchPolicy, DeadlinePolicy,
+    FifoWavePolicy, ShedPolicy,
+};

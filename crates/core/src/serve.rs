@@ -29,6 +29,19 @@ pub enum ServePriority {
     Interactive,
 }
 
+impl ServePriority {
+    /// The admission-tier priority class of this priority (higher classes
+    /// are batched and retained first; the shed policy drops lowest-class
+    /// requests first).
+    pub fn class(self) -> u8 {
+        match self {
+            ServePriority::Batch => 0,
+            ServePriority::Normal => 1,
+            ServePriority::Interactive => 2,
+        }
+    }
+}
+
 /// Per-request policy overrides layered over the deployment's defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RequestPolicy {

@@ -160,6 +160,8 @@ pub struct Matcher {
     out_ids: Vec<u32>,
     /// Per-pattern metadata, indexed by pattern id.
     patterns: Vec<PatternMeta>,
+    /// Longest folded pattern length, for leftmost-longest early exit.
+    max_len: usize,
 }
 
 /// True for bytes that extend a word (ASCII alphanumeric or underscore).
@@ -275,6 +277,11 @@ impl Matcher {
             table: next,
             out_ranges,
             out_ids,
+            max_len: patterns
+                .iter()
+                .map(|(folded, _)| folded.len())
+                .max()
+                .unwrap_or(0),
             patterns: patterns
                 .iter()
                 .map(|(folded, word_bounded)| PatternMeta {
@@ -360,6 +367,90 @@ impl Matcher {
         first
     }
 
+    /// The leftmost match, ties broken longest (then lowest pattern id) —
+    /// the "what comes first in reading order" query, as opposed to
+    /// [`Matcher::find_earliest`]'s "what does the DFA prove first".
+    ///
+    /// With overlapping patterns the two differ: over patterns
+    /// `["bcd", "abcde"]` on `"abcde"`, `find_earliest` reports `bcd`
+    /// (its end offset comes first) while `find_leftmost_longest` reports
+    /// `abcde` (it starts first). Leftmost-longest is the right semantics
+    /// for streaming redaction: rewrite the earliest flagged span, emit
+    /// clean text up to it, continue after it.
+    pub fn find_leftmost_longest(&self, haystack: &str) -> Option<Match> {
+        self.leftmost_longest_from(haystack.as_bytes(), 0)
+    }
+
+    /// Streams successive non-overlapping leftmost-longest matches: each
+    /// match is the leftmost (longest, at its start) match beginning at or
+    /// after the previous match's end. This is the iteration order a
+    /// streaming redactor consumes — emit `haystack[last_end..m.start]`,
+    /// rewrite `m`, repeat — without materializing the full match list.
+    pub fn leftmost_longest_matches<'m, 'h>(
+        &'m self,
+        haystack: &'h str,
+    ) -> LeftmostLongestMatches<'m, 'h> {
+        LeftmostLongestMatches {
+            matcher: self,
+            haystack,
+            pos: 0,
+        }
+    }
+
+    /// The leftmost-longest match whose start is at or after `from`.
+    ///
+    /// One DFA walk from `from`, cut short as soon as no later match could
+    /// start at or before the best start seen (every match is at most
+    /// `max_len` bytes, so candidate starts only move right). Word-boundary
+    /// checks still see the full haystack, so restarting mid-text never
+    /// changes what counts as a boundary.
+    fn leftmost_longest_from(&self, bytes: &[u8], from: usize) -> Option<Match> {
+        if self.max_len == 0 || from >= bytes.len() {
+            return None;
+        }
+        let mut best: Option<Match> = None;
+        let mut state = 0usize;
+        for (i, &b) in bytes.iter().enumerate().skip(from) {
+            if let Some(m) = &best {
+                // Any match ending at i+1 or later starts at or after
+                // i + 1 - max_len; once that bound passes the best start,
+                // nothing later can start sooner or extend the tie.
+                if i + 1 > m.start + self.max_len {
+                    break;
+                }
+            }
+            let class = self.classes[b as usize] as usize;
+            state = self.table[state * self.class_count + class] as usize;
+            let (out_start, out_end) = self.out_ranges[state];
+            for &id in &self.out_ids[out_start as usize..out_end as usize] {
+                let meta = &self.patterns[id as usize];
+                let start = i + 1 - meta.len;
+                if start < from {
+                    continue;
+                }
+                if meta.word_bounded {
+                    let left_ok = start == 0 || !is_word_byte(bytes[start - 1]);
+                    let right_ok = i + 1 == bytes.len() || !is_word_byte(bytes[i + 1]);
+                    if !left_ok || !right_ok {
+                        continue;
+                    }
+                }
+                let better = match &best {
+                    None => true,
+                    Some(m) => start < m.start || (start == m.start && i + 1 > m.end),
+                };
+                if better {
+                    best = Some(Match {
+                        pattern: id as usize,
+                        start,
+                        end: i + 1,
+                    });
+                }
+            }
+        }
+        best
+    }
+
     /// Which patterns occur at least once — the shared per-text scan result
     /// the detectors build their verdicts from.
     pub fn matched_ids(&self, haystack: &str) -> MatchSet {
@@ -377,6 +468,27 @@ impl Matcher {
             set.distinct < total
         });
         set
+    }
+}
+
+/// Streaming iterator over successive non-overlapping leftmost-longest
+/// matches; see [`Matcher::leftmost_longest_matches`].
+#[derive(Debug, Clone)]
+pub struct LeftmostLongestMatches<'m, 'h> {
+    matcher: &'m Matcher,
+    haystack: &'h str,
+    pos: usize,
+}
+
+impl Iterator for LeftmostLongestMatches<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        let m = self
+            .matcher
+            .leftmost_longest_from(self.haystack.as_bytes(), self.pos)?;
+        self.pos = m.end;
+        Some(m)
     }
 }
 
@@ -535,6 +647,59 @@ mod tests {
         builder.add("tooling");
         let bounded = builder.build();
         assert_eq!(bounded.find_earliest("devx tooling").unwrap().pattern, 1);
+    }
+
+    #[test]
+    fn leftmost_longest_prefers_start_over_end() {
+        let matcher = Matcher::compile(["bcd", "abcde"]);
+        // find_earliest proves "bcd" first (ends at 4); leftmost-longest
+        // wants "abcde" (starts at 0).
+        assert_eq!(matcher.find_earliest("abcde").unwrap().pattern, 0);
+        let m = matcher.find_leftmost_longest("abcde").unwrap();
+        assert_eq!((m.pattern, m.start, m.end), (1, 0, 5));
+        // At the same start, the longer pattern wins.
+        let nested = Matcher::compile(["ab", "abc"]);
+        let m = nested.find_leftmost_longest("zzABCz").unwrap();
+        assert_eq!((m.pattern, m.start, m.end), (1, 2, 5));
+        assert!(nested.find_leftmost_longest("no hit").is_none());
+        assert!(Matcher::compile([""; 0])
+            .find_leftmost_longest("abc")
+            .is_none());
+    }
+
+    #[test]
+    fn leftmost_longest_iteration_is_non_overlapping_and_ordered() {
+        let matcher = Matcher::compile(["aa", "aaa"]);
+        let hits: Vec<(usize, usize, usize)> = matcher
+            .leftmost_longest_matches("aaaaaaa")
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
+        // 7 a's: "aaa" at 0, "aaa" at 3, then only "aa"-worth remains? No:
+        // one 'a' remains at 6, which matches nothing.
+        assert_eq!(hits, vec![(1, 0, 3), (1, 3, 6)]);
+        let matcher = Matcher::compile(["he", "hers"]);
+        let hits: Vec<(usize, usize)> = matcher
+            .leftmost_longest_matches("he hers he")
+            .map(|m| (m.pattern, m.start))
+            .collect();
+        assert_eq!(hits, vec![(0, 0), (1, 3), (0, 8)]);
+    }
+
+    #[test]
+    fn leftmost_longest_respects_word_boundaries_across_restarts() {
+        let mut builder = MatcherBuilder::new();
+        builder.add("agent");
+        builder.add_word_bounded("vx");
+        let matcher = builder.build();
+        // After consuming "agent", the scan restarts inside "devx" — the
+        // bounded "vx" must still see the 'e' to its left and stay quiet.
+        let hits: Vec<usize> = matcher
+            .leftmost_longest_matches("agentdevx tooling, vx here")
+            .map(|m| m.pattern)
+            .collect();
+        assert_eq!(hits, vec![0, 1]);
+        let m = matcher.find_leftmost_longest("devx then VX").unwrap();
+        assert_eq!((m.pattern, m.start), (1, 10));
     }
 
     #[test]

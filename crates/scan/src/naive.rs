@@ -48,9 +48,71 @@ pub fn all_occurrences<S: AsRef<str>>(patterns: &[S], haystack: &str) -> Vec<(us
     hits
 }
 
+/// Successive non-overlapping leftmost-longest matches as `(id, start,
+/// end)` triples — the naive counterpart of
+/// [`crate::Matcher::leftmost_longest_matches`] (without word boundaries),
+/// kept as the ground truth for the proptest equivalence suite.
+///
+/// At each position the scan tries every pattern and keeps the longest one
+/// that matches (ties on length go to the lowest pattern id); the next
+/// scan resumes after the match. Byte-wise comparison on the ASCII-folded
+/// shadow, so offsets are valid in the original text.
+pub fn leftmost_longest<S: AsRef<str>>(
+    patterns: &[S],
+    haystack: &str,
+) -> Vec<(usize, usize, usize)> {
+    let lower = haystack.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let folded: Vec<Vec<u8>> = patterns
+        .iter()
+        .map(|p| p.as_ref().to_ascii_lowercase().into_bytes())
+        .collect();
+    let mut hits = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let mut found = None;
+        for start in pos..bytes.len() {
+            let mut best: Option<(usize, usize)> = None;
+            for (id, pattern) in folded.iter().enumerate() {
+                if !pattern.is_empty()
+                    && bytes[start..].starts_with(pattern)
+                    && best.is_none_or(|(_, len)| pattern.len() > len)
+                {
+                    best = Some((id, pattern.len()));
+                }
+            }
+            if let Some((id, len)) = best {
+                found = Some((id, start, start + len));
+                break;
+            }
+        }
+        match found {
+            Some(hit) => {
+                hits.push(hit);
+                pos = hit.2;
+            }
+            None => break,
+        }
+    }
+    hits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn leftmost_longest_picks_the_earliest_then_longest_match() {
+        assert_eq!(
+            leftmost_longest(&["bcd", "abcde"], "xabcdex"),
+            vec![(1, 1, 6)]
+        );
+        assert_eq!(
+            leftmost_longest(&["aa", "aaa"], "aaaaaaa"),
+            vec![(1, 0, 3), (1, 3, 6)]
+        );
+        assert!(leftmost_longest(&["zz"], "aaa").is_empty());
+    }
 
     #[test]
     fn multibyte_patterns_do_not_slice_mid_codepoint() {

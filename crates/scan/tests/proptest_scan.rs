@@ -72,6 +72,32 @@ proptest! {
         }
     }
 
+    /// Leftmost-longest iteration equals the naive position-by-position
+    /// reference: same non-overlapping matches, same ids, same spans, in
+    /// the same order — for arbitrary overlapping pattern sets.
+    #[test]
+    fn leftmost_longest_iteration_equals_naive(
+        patterns in collection::vec("[a-bA-B]{1,4}", 1..8),
+        haystack in "[a-bA-B İ.]{0,80}",
+    ) {
+        let matcher = Matcher::compile(&patterns);
+        let got: Vec<(usize, usize, usize)> = matcher
+            .leftmost_longest_matches(&haystack)
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
+        let want = naive::leftmost_longest(&patterns, &haystack);
+        prop_assert_eq!(&got, &want, "patterns {:?} haystack {:?}", &patterns, &haystack);
+        // The first iterated match is find_leftmost_longest.
+        prop_assert_eq!(
+            matcher.find_leftmost_longest(&haystack).map(|m| (m.pattern, m.start, m.end)),
+            want.first().copied()
+        );
+        // Matches never overlap and advance strictly left to right.
+        for pair in got.windows(2) {
+            prop_assert!(pair[0].2 <= pair[1].1);
+        }
+    }
+
     /// Word-bounded matching is exactly the boundary-filtered subset of
     /// unbounded matching: same pattern registered both ways, the bounded
     /// copy fires iff the unbounded copy fires with non-word neighbours.

@@ -45,6 +45,14 @@ impl SimInstant {
     pub fn saturating_add(self, d: SimDuration) -> SimInstant {
         SimInstant(self.0.saturating_add(d.0))
     }
+
+    /// Returns this instant moved `d` into the past, saturating at the
+    /// simulation origin. The admission tier's batch former uses this for
+    /// "dispatch by" arithmetic: a deadline minus the wait budget is the
+    /// instant a queued request must leave the queue.
+    pub fn saturating_sub(self, d: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_sub(d.0))
+    }
 }
 
 impl SimDuration {

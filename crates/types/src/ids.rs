@@ -103,6 +103,13 @@ define_id!(
     ConnectionId,
     "conn"
 );
+define_id!(
+    /// Identifies one admitted request inside the admission queue: the
+    /// receipt handed back by an `Enqueued` admission decision, and the
+    /// name a shed decision uses to say *which* queued request was dropped.
+    TicketId,
+    "tkt"
+);
 
 /// Distinguishes the two classes of cores in Guillotine silicon.
 ///

@@ -26,7 +26,7 @@ pub use error::{GuillotineError, Result};
 pub use events::{AuditEvent, AuditSeverity, EventKind, EventLog};
 pub use ids::{
     AdminId, CertId, ConnectionId, CoreId, CoreKind, DeviceId, MachineId, ModelId, PortId,
-    RequestId, SessionId, WatchpointId,
+    RequestId, SessionId, TicketId, WatchpointId,
 };
-pub use metrics::{Counter, Histogram, RateEstimator, Summary};
+pub use metrics::{Counter, Gauge, Histogram, RateEstimator, Summary};
 pub use rng::DetRng;

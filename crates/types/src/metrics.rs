@@ -28,6 +28,50 @@ impl Counter {
     }
 }
 
+/// A level gauge with a high-water mark.
+///
+/// Unlike a [`Counter`], a gauge goes both up and down (queue depth,
+/// in-flight requests) while remembering the highest level it ever reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge {
+    current: u64,
+    max: u64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raises the level by `n`, updating the high-water mark.
+    pub fn raise(&mut self, n: u64) {
+        self.current = self.current.saturating_add(n);
+        self.max = self.max.max(self.current);
+    }
+
+    /// Lowers the level by `n`, saturating at zero.
+    pub fn lower(&mut self, n: u64) {
+        self.current = self.current.saturating_sub(n);
+    }
+
+    /// Sets the level directly, updating the high-water mark.
+    pub fn set(&mut self, level: u64) {
+        self.current = level;
+        self.max = self.max.max(level);
+    }
+
+    /// The current level.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The highest level ever set.
+    pub fn high_water(&self) -> u64 {
+        self.max
+    }
+}
+
 /// Streaming summary statistics (count, mean, min, max, variance).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
@@ -234,6 +278,19 @@ mod tests {
         c.incr();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let mut g = Gauge::new();
+        g.raise(3);
+        g.lower(2);
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.high_water(), 3);
+        g.set(7);
+        g.lower(100);
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.high_water(), 7);
     }
 
     #[test]

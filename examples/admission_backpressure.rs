@@ -1,0 +1,131 @@
+//! Backpressure at the front door: shed vs refuse under overload.
+//!
+//! A bursty arrival trace is thrown at a deliberately small admission
+//! queue twice — once with `ShedPolicy::DropLowestPriority` (the queue
+//! stays loaded with the most urgent work, bulk traffic is dropped by
+//! name) and once with `ShedPolicy::FailClosed` (nothing queued is ever
+//! dropped; late arrivals are refused and the producer sees the
+//! backpressure). Both runs print their admission decisions and finish
+//! with the fleet report's SLO table.
+//!
+//! Run with: `cargo run --release --example admission_backpressure`
+
+use guillotine::admission::{AdmissionConfig, FrontDoor, TimedArrival};
+use guillotine::fleet::GuillotineFleet;
+use guillotine::serve::{ServePriority, ServeRequest};
+use guillotine::{AdmissionDecision, ArrivalGen, ArrivalProcess, DeadlinePolicy, ShedPolicy};
+use guillotine_types::{SessionId, SimDuration};
+
+const REQUESTS: usize = 96;
+const CAPACITY: usize = 12;
+
+/// A bursty on-off trace: floods of 16 requests, then silence.
+fn trace() -> Vec<TimedArrival> {
+    let arrivals = ArrivalGen::trace(
+        ArrivalProcess::OnOff {
+            burst_len: 16,
+            burst_gap: SimDuration::from_micros(20),
+            idle_gap: SimDuration::from_millis(2),
+        },
+        0xBEEF,
+        REQUESTS,
+    );
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| {
+            let (priority, label, deadline) = match i % 3 {
+                0 => (
+                    ServePriority::Interactive,
+                    "interactive",
+                    Some(SimDuration::from_millis(100)),
+                ),
+                1 => (
+                    ServePriority::Normal,
+                    "normal",
+                    Some(SimDuration::from_millis(400)),
+                ),
+                _ => (ServePriority::Batch, "bulk", None),
+            };
+            TimedArrival {
+                at,
+                request: ServeRequest::new(format!(
+                    "[{label}] Please summarize item {i} of the incident report."
+                ))
+                .with_session(SessionId::new((i % 8) as u32))
+                .with_priority(priority),
+                deadline,
+            }
+        })
+        .collect()
+}
+
+fn run(shed: ShedPolicy, headline: &str) {
+    println!("=== {headline} ===");
+    let fleet = GuillotineFleet::builder().with_shards(2).build().unwrap();
+    let mut door = FrontDoor::new(
+        fleet,
+        AdmissionConfig {
+            capacity: CAPACITY,
+            shed,
+            default_deadline: None,
+        },
+        Box::new(DeadlinePolicy {
+            max_batch: 8,
+            max_wait: SimDuration::from_micros(200),
+            session_affinity: true,
+        }),
+    );
+    let (decisions, responses) = door.play(trace()).unwrap();
+
+    let mut enqueued = 0;
+    let mut shed_victims = 0;
+    let mut self_shed = 0;
+    let mut refused = 0;
+    for decision in &decisions {
+        match decision {
+            AdmissionDecision::Enqueued { .. } => enqueued += 1,
+            AdmissionDecision::Shed {
+                admitted: Some(_), ..
+            } => shed_victims += 1,
+            AdmissionDecision::Shed { admitted: None, .. } => self_shed += 1,
+            AdmissionDecision::Refused { .. } => refused += 1,
+        }
+    }
+    println!(
+        "{REQUESTS} arrivals into a capacity-{CAPACITY} queue: \
+         {enqueued} enqueued cleanly, {shed_victims} displaced a weaker victim, \
+         {self_shed} were themselves shed, {refused} refused at the door"
+    );
+    // Show the first overflow decision of each kind, by name.
+    for decision in &decisions {
+        match decision {
+            AdmissionDecision::Shed {
+                victim,
+                victim_session,
+                admitted: Some(_),
+            } => {
+                println!("  e.g. admitted by displacing {victim} of {victim_session}");
+                break;
+            }
+            AdmissionDecision::Refused { depth } => {
+                println!("  e.g. refused at depth {depth}: the producer must back off");
+                break;
+            }
+            _ => {}
+        }
+    }
+    println!("{} responses served\n", responses.len());
+    println!("{}", door.report().render());
+}
+
+fn main() {
+    run(
+        ShedPolicy::DropLowestPriority,
+        "shed: drop the lowest-priority request, keep the urgent work",
+    );
+    run(
+        ShedPolicy::FailClosed,
+        "fail closed: never drop queued work, refuse the newcomer",
+    );
+}
