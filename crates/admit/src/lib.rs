@@ -67,6 +67,6 @@ pub mod queue;
 pub mod stats;
 
 pub use arrival::{ArrivalGen, ArrivalProcess};
-pub use policy::{BatchPolicy, DeadlinePolicy, FifoWavePolicy};
+pub use policy::{BatchPolicy, DeadlinePolicy, DeadlineTarget, FifoWavePolicy};
 pub use queue::{AdmissionController, AdmissionDecision, Admitted, EntryStamp, ShedPolicy};
 pub use stats::AdmissionStats;

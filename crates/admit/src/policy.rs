@@ -30,6 +30,23 @@ pub trait BatchPolicy {
     fn name(&self) -> &'static str;
 }
 
+/// What latency a [`DeadlinePolicy`] schedules against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeadlineTarget {
+    /// The deadline bounds request *completion* — the classic SLO. The
+    /// policy packs batches as full as it can, mixing priority classes.
+    #[default]
+    Completion,
+    /// The deadline bounds the *first streamed token* (a TTFT SLO). Under
+    /// the streaming front door every request in a batch pays the whole
+    /// batch's launch **and prefill** before its first token, so padding an
+    /// urgent batch with lower-class long prompts directly inflates the
+    /// urgent requests' TTFT. This target forms **class-pure** batches: a
+    /// dispatch takes only entries of the most urgent class present,
+    /// leaving lower classes for the next wave.
+    FirstToken,
+}
+
 /// Deadline/priority-aware batch forming: earliest-deadline-first within
 /// priority class, with session-affinity grouping.
 ///
@@ -41,6 +58,10 @@ pub trait BatchPolicy {
 /// a chosen session's queued requests into the batch together, in arrival
 /// order, so a multi-turn conversation's KV prefix stays warm instead of
 /// being smeared across waves.
+///
+/// The [`DeadlineTarget`] decides what the deadline protects: completion
+/// (fill every batch) or time-to-first-token (class-pure batches that keep
+/// lower-class prefill out of urgent requests' TTFT).
 #[derive(Debug, Clone)]
 pub struct DeadlinePolicy {
     /// Most requests in one formed batch.
@@ -49,6 +70,8 @@ pub struct DeadlinePolicy {
     pub max_wait: SimDuration,
     /// Group same-session requests into the same batch.
     pub session_affinity: bool,
+    /// The latency the deadline bounds.
+    pub target: DeadlineTarget,
 }
 
 impl Default for DeadlinePolicy {
@@ -57,6 +80,18 @@ impl Default for DeadlinePolicy {
             max_batch: 32,
             max_wait: SimDuration::from_millis(1),
             session_affinity: true,
+            target: DeadlineTarget::Completion,
+        }
+    }
+}
+
+impl DeadlinePolicy {
+    /// The default policy re-targeted at time-to-first-token: identical
+    /// dispatch triggers, class-pure batch forming.
+    pub fn targeting_first_token() -> Self {
+        DeadlinePolicy {
+            target: DeadlineTarget::FirstToken,
+            ..DeadlinePolicy::default()
         }
     }
 }
@@ -92,10 +127,20 @@ impl BatchPolicy for DeadlinePolicy {
 
     fn select(&self, queue: &[EntryStamp], _now: SimInstant) -> Vec<usize> {
         let limit = self.max_batch.max(1).min(queue.len());
+        // Under a TTFT target, a dispatch is class-pure: only entries of
+        // the most urgent class present travel, so their first token never
+        // waits on lower-class prefill in the same batch.
+        let class_filter = match self.target {
+            DeadlineTarget::Completion => None,
+            DeadlineTarget::FirstToken => queue.iter().map(|e| e.class).max(),
+        };
         if !self.session_affinity {
             // Plain EDF within priority class over individual entries.
             let mut order: Vec<usize> = (0..queue.len()).collect();
             order.sort_by_key(|&i| urgency(&queue[i]));
+            if let Some(top) = class_filter {
+                order.retain(|&i| queue[i].class == top);
+            }
             order.truncate(limit);
             return order;
         }
@@ -126,6 +171,9 @@ impl BatchPolicy for DeadlinePolicy {
                 if selected.len() == limit {
                     return selected;
                 }
+                if class_filter.is_some_and(|top| queue[i].class != top) {
+                    continue;
+                }
                 selected.push(i);
             }
         }
@@ -133,7 +181,10 @@ impl BatchPolicy for DeadlinePolicy {
     }
 
     fn name(&self) -> &'static str {
-        "deadline"
+        match self.target {
+            DeadlineTarget::Completion => "deadline",
+            DeadlineTarget::FirstToken => "deadline-ttft",
+        }
     }
 }
 
@@ -198,6 +249,7 @@ mod tests {
             max_batch: 2,
             max_wait: SimDuration::from_micros(10),
             session_affinity: true,
+            ..DeadlinePolicy::default()
         };
         let now = SimInstant::from_nanos(1_000);
         assert!(!policy.ready(&[], now));
@@ -221,6 +273,7 @@ mod tests {
             max_batch: 2,
             max_wait: SimDuration::from_micros(10),
             session_affinity: false,
+            ..DeadlinePolicy::default()
         };
         let queue = [
             stamp(0, 0, 0, 0, Some(5_000)),  // low class, urgent deadline
@@ -237,6 +290,7 @@ mod tests {
             max_batch: 3,
             max_wait: SimDuration::from_micros(10),
             session_affinity: true,
+            ..DeadlinePolicy::default()
         };
         // Session 7 has two queued turns; session 8 arrived in between with
         // the same class and no tighter deadline.
@@ -248,6 +302,45 @@ mod tests {
         let picked = policy.select(&queue, SimInstant::from_nanos(100));
         // Session 7's turns travel together, in arrival order.
         assert_eq!(picked, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn first_token_target_forms_class_pure_batches() {
+        let completion = DeadlinePolicy {
+            max_batch: 4,
+            max_wait: SimDuration::from_micros(10),
+            session_affinity: false,
+            ..DeadlinePolicy::default()
+        };
+        let ttft = DeadlinePolicy {
+            target: DeadlineTarget::FirstToken,
+            ..completion.clone()
+        };
+        assert_eq!(completion.name(), "deadline");
+        assert_eq!(ttft.name(), "deadline-ttft");
+        // One interactive (class 2) entry amid three batch (class 0) ones.
+        let queue = [
+            stamp(0, 0, 0, 0, None),
+            stamp(1, 1, 2, 5, None),
+            stamp(2, 2, 0, 10, None),
+            stamp(3, 3, 0, 15, None),
+        ];
+        let now = SimInstant::from_nanos(100);
+        // Completion target pads the batch with the class-0 tail...
+        assert_eq!(completion.select(&queue, now), vec![1, 0, 2, 3]);
+        // ...the TTFT target dispatches the interactive entry alone.
+        assert_eq!(ttft.select(&queue, now), vec![1]);
+        // With the interactive entry gone, class 0 becomes the top class
+        // and dispatches normally — no starvation.
+        let tail = [queue[0], queue[2], queue[3]];
+        assert_eq!(ttft.select(&tail, now), vec![0, 1, 2]);
+        // Session affinity composes with the class filter.
+        let affine = DeadlinePolicy {
+            target: DeadlineTarget::FirstToken,
+            session_affinity: true,
+            ..completion.clone()
+        };
+        assert_eq!(affine.select(&queue, now), vec![1]);
     }
 
     #[test]

@@ -331,6 +331,10 @@ impl<T> AdmissionController<T> {
     }
 
     /// Records the completion of one dispatched request for SLO accounting.
+    /// `completed` is the instant the deadline protects: completion time
+    /// under a completion target, the first-token instant under a TTFT
+    /// target (the caller decides, since only it knows the policy's
+    /// [`crate::policy::DeadlineTarget`]).
     pub fn record_served(&mut self, stamp: &EntryStamp, completed: SimInstant) {
         if let Some(deadline) = stamp.deadline {
             self.stats.deadlines_tracked += 1;
@@ -340,6 +344,15 @@ impl<T> AdmissionController<T> {
                 self.stats.deadlines_missed += 1;
             }
         }
+    }
+
+    /// Records one served request's submission-to-first-token time (queue
+    /// wait plus the serving pipeline up to its first streamed chunk).
+    /// Callers skip requests that never emitted a token.
+    pub fn record_ttft(&mut self, ttft: guillotine_types::SimDuration) {
+        self.stats.ttft_samples += 1;
+        self.stats.ttft_total = self.stats.ttft_total.saturating_add(ttft);
+        self.stats.ttft_max = self.stats.ttft_max.max(ttft);
     }
 }
 
@@ -431,6 +444,7 @@ mod tests {
                 max_batch: 1,
                 max_wait: SimDuration::ZERO,
                 session_affinity: false,
+                ..DeadlinePolicy::default()
             }),
         );
         let s = SessionId::new(9);

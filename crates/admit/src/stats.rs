@@ -35,12 +35,29 @@ pub struct AdmissionStats {
     pub deadlines_met: u64,
     /// Served requests that completed after their deadline.
     pub deadlines_missed: u64,
+    /// Served requests whose stream emitted at least one token (the
+    /// requests with a measurable time-to-first-token).
+    pub ttft_samples: u64,
+    /// Total submission-to-first-token time across `ttft_samples` (queue
+    /// wait plus the serving pipeline up to the first streamed chunk).
+    pub ttft_total: SimDuration,
+    /// Largest submission-to-first-token time observed.
+    pub ttft_max: SimDuration,
 }
 
 impl AdmissionStats {
     /// Mean queue wait across dispatched requests (zero if none).
     pub fn mean_wait(&self) -> SimDuration {
         match self.wait_total.as_nanos().checked_div(self.dispatched) {
+            Some(mean) => SimDuration::from_nanos(mean),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Mean submission-to-first-token time across streams that emitted a
+    /// token (zero if none did).
+    pub fn mean_ttft(&self) -> SimDuration {
+        match self.ttft_total.as_nanos().checked_div(self.ttft_samples) {
             Some(mean) => SimDuration::from_nanos(mean),
             None => SimDuration::ZERO,
         }
@@ -99,5 +116,11 @@ mod tests {
         assert_eq!(s.miss_rate(), 0.25);
         assert_eq!(s.shed_rate(), 0.2);
         assert_eq!(s.mean_batch(), 4.0);
+
+        assert_eq!(s.mean_ttft(), SimDuration::ZERO);
+        s.ttft_samples = 4;
+        s.ttft_total = SimDuration::from_micros(20);
+        s.ttft_max = SimDuration::from_micros(9);
+        assert_eq!(s.mean_ttft(), SimDuration::from_micros(5));
     }
 }

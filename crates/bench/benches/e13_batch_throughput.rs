@@ -40,10 +40,15 @@ fn bench(c: &mut Criterion) {
         sequential.serve_prompt(prompt).unwrap();
     }
     let sequential_time = start.elapsed();
+    let speedup = sequential_time.as_secs_f64() / batch_time.as_secs_f64().max(1e-9);
     println!(
-        "e13: serve_batch(64) {batch_time:?} vs 64x serve_prompt {sequential_time:?} -> {:.1}x speedup",
-        sequential_time.as_secs_f64() / batch_time.as_secs_f64().max(1e-9)
+        "e13: serve_batch(64) {batch_time:?} vs 64x serve_prompt {sequential_time:?} -> {speedup:.1}x speedup"
     );
+    guillotine_bench::BenchJson::new("e13", "batch_throughput")
+        .metric("batch64_wall_s", batch_time.as_secs_f64())
+        .metric("sequential64_wall_s", sequential_time.as_secs_f64())
+        .bar("batch64_wall_speedup", speedup, 2.0)
+        .write();
 
     let mut group = c.benchmark_group("e13_batch_throughput");
     group.sample_size(10);

@@ -88,6 +88,14 @@ fn bench(c: &mut Criterion) {
         speedup_8 >= 1.5,
         "8 shards must give >=1.5x simulated throughput over 1 (got {speedup_8:.2}x)"
     );
+    let mut report = guillotine_bench::BenchJson::new("e14", "fleet_throughput");
+    for &(shards, tput) in &throughput {
+        report.metric(&format!("throughput_{shards}_shards_req_per_s"), tput);
+    }
+    report
+        .metric("speedup_2_shards", speedup_2)
+        .bar("speedup_8_shards", speedup_8, 1.5)
+        .write();
 
     // Wall-clock side: Criterion over the serial and threaded paths.
     let mut group = c.benchmark_group("e14_fleet_throughput");

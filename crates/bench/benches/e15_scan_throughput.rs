@@ -342,6 +342,15 @@ fn bench(c: &mut Criterion) {
         e2e_speedup >= 1.5,
         "end-to-end serve_batch win must be >=1.5x, got {e2e_speedup:.2}x"
     );
+    guillotine_bench::BenchJson::new("e15", "scan_throughput")
+        .metric("patterns", patterns.len() as f64)
+        .metric("naive_scan_s", naive_scan.as_secs_f64())
+        .metric("automaton_scan_s", automaton_scan.as_secs_f64())
+        .metric("naive_batch_s", naive_batch.as_secs_f64())
+        .metric("automaton_batch_s", automaton_batch.as_secs_f64())
+        .bar("scan_speedup", scan_speedup, 5.0)
+        .bar("serve_batch_speedup", e2e_speedup, 1.5)
+        .write();
 
     // ---- Criterion records for the trajectory. ----
     let mut group = c.benchmark_group("e15_scan_throughput");

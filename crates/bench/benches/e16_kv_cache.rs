@@ -132,6 +132,15 @@ fn bench(c: &mut Criterion) {
         shared_rate > invalidated_rate,
         "invalidation must cost re-homed locality ({shared_rate:.2} vs {invalidated_rate:.2})"
     );
+    guillotine_bench::BenchJson::new("e16", "kv_cache")
+        .metric("cached_sim_s", cached_sim.as_secs_f64())
+        .metric("uncached_sim_s", uncached_sim.as_secs_f64())
+        .metric("kv_hit_rate", kv.hit_rate())
+        .metric("kv_token_reuse_rate", kv.token_reuse_rate())
+        .metric("rehomed_hit_rate_shared", shared_rate)
+        .metric("rehomed_hit_rate_invalidated", invalidated_rate)
+        .bar("replay_speedup", speedup, 2.0)
+        .write();
 
     // Steady-state wall-clock comparison (warm tier vs no tier).
     let mut group = c.benchmark_group("e16_kv_cache");

@@ -122,6 +122,7 @@ fn bench(c: &mut Criterion) {
             max_batch: 16,
             max_wait: SimDuration::from_micros(200),
             session_affinity: true,
+            ..DeadlinePolicy::default()
         }),
         1024,
         ShedPolicy::FailClosed,
@@ -174,6 +175,7 @@ fn bench(c: &mut Criterion) {
             max_batch: 16,
             max_wait: SimDuration::from_micros(200),
             session_affinity: true,
+            ..DeadlinePolicy::default()
         }),
         24,
         ShedPolicy::DropLowestPriority,
@@ -193,6 +195,16 @@ fn bench(c: &mut Criterion) {
         shed_line.contains(&format!("{} shed", overloaded.shed)),
         "the rendered report must carry the shed count: {shed_line}"
     );
+    guillotine_bench::BenchJson::new("e17", "admission")
+        .metric("per_request_req_per_s", throughput(&per_request))
+        .metric("fixed_wave_req_per_s", throughput(&fixed_wave))
+        .metric("deadline_req_per_s", throughput(&deadline))
+        .metric("per_request_misses", per_request.misses as f64)
+        .metric("fixed_wave_misses", fixed_wave.misses as f64)
+        .metric("deadline_misses", deadline.misses as f64)
+        .metric("overloaded_shed", overloaded.shed as f64)
+        .bar("deadline_vs_per_request_speedup", speedup, 1.5)
+        .write();
 
     // Wall-clock: the full open-loop replay through the deadline former.
     let mut group = c.benchmark_group("e17_admission");
@@ -204,6 +216,7 @@ fn bench(c: &mut Criterion) {
                     max_batch: 16,
                     max_wait: SimDuration::from_micros(200),
                     session_affinity: true,
+                    ..DeadlinePolicy::default()
                 }),
                 1024,
                 ShedPolicy::FailClosed,

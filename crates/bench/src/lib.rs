@@ -4,3 +4,151 @@
 //! experiment functions from `guillotine::experiments` (or the escape
 //! campaign) with Criterion and prints the corresponding results table so the
 //! series the paper's claims imply can be regenerated with `cargo bench`.
+//!
+//! [`BenchJson`] is the machine-readable side of that output: every serving
+//! bench (e13–e18) builds one and writes `BENCH_<experiment>.json` next to
+//! the bench binary's working directory, recording its headline metrics and
+//! acceptance bars so CI can archive the numbers without scraping stdout.
+
+use std::fmt::Write as _;
+
+/// One bench run's machine-readable results: named scalar metrics plus the
+/// acceptance bars the run was held to. Serialized by hand — the workspace
+/// is fully offline and the schema is flat, so no serde round-trip is worth
+/// a dependency here.
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    experiment: String,
+    bench: String,
+    metrics: Vec<(String, f64)>,
+    bars: Vec<Bar>,
+}
+
+#[derive(Debug, Clone)]
+struct Bar {
+    name: String,
+    value: f64,
+    threshold: f64,
+    pass: bool,
+}
+
+/// Renders an f64 as a JSON number (`null` for non-finite values, which
+/// JSON cannot carry).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchJson {
+    /// Starts a report for one experiment: the short id (`"e18"`) names
+    /// the `BENCH_<id>.json` artifact, the bench name describes the run.
+    pub fn new(experiment: &str, bench: &str) -> Self {
+        BenchJson {
+            experiment: experiment.to_string(),
+            bench: bench.to_string(),
+            ..BenchJson::default()
+        }
+    }
+
+    /// Records one named scalar metric.
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Records one acceptance bar: `value` measured against a `>= threshold`
+    /// pass condition. The pass flag is recorded, not enforced — benches
+    /// that enforce a bar assert on it themselves.
+    pub fn bar(&mut self, name: &str, value: f64, threshold: f64) -> &mut Self {
+        self.bars.push(Bar {
+            name: name.to_string(),
+            value,
+            threshold,
+            pass: value >= threshold,
+        });
+        self
+    }
+
+    /// The serialized JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"experiment\": \"{}\",",
+            json_escape(&self.experiment)
+        );
+        let _ = writeln!(out, "  \"bench\": \"{}\",", json_escape(&self.bench));
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {}",
+                json_escape(name),
+                json_number(*value)
+            );
+        }
+        out.push_str("\n  },\n  \"acceptance\": [");
+        for (i, bar) in self.bars.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{ \"name\": \"{}\", \"value\": {}, \"threshold\": {}, \"op\": \">=\", \"pass\": {} }}",
+                json_escape(&bar.name),
+                json_number(bar.value),
+                json_number(bar.threshold),
+                bar.pass
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<experiment>.json` in the current working directory
+    /// (for `cargo bench` that is the bench crate root) and announces the
+    /// path on stdout so the run log points at the artifact.
+    pub fn write(&self) {
+        let path = format!("BENCH_{}.json", self.experiment);
+        std::fs::write(&path, self.render()).expect("write bench json");
+        println!("{}: wrote {path}", self.experiment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_json_with_metrics_and_bars() {
+        let mut report = BenchJson::new("e99", "example");
+        report
+            .metric("throughput_req_per_s", 1234.5)
+            .metric("weird", f64::NAN)
+            .bar("speedup", 2.0, 1.5)
+            .bar("misses", 0.5, 1.0);
+        let doc = report.render();
+        assert!(doc.contains("\"experiment\": \"e99\""));
+        assert!(doc.contains("\"bench\": \"example\""));
+        assert!(doc.contains("\"throughput_req_per_s\": 1234.5"));
+        assert!(doc.contains("\"weird\": null"));
+        assert!(doc.contains("\"pass\": true"));
+        assert!(doc.contains("\"pass\": false"));
+        // Balanced braces/brackets — the document parses as flat JSON.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

@@ -90,6 +90,11 @@ pub struct FrontDoor {
     /// other policy reads queued load.
     queued_by_shard: Vec<u64>,
     queued_placements: HashMap<u32, usize>,
+    /// When set, deadlines are judged against each request's *first-token*
+    /// instant instead of batch completion — the streaming SLO. Paired
+    /// with [`DeadlinePolicy::targeting_first_token`] by
+    /// [`FrontDoor::ttft_deadline_aware`], but independently toggleable.
+    ttft_deadlines: bool,
 }
 
 impl FrontDoor {
@@ -107,6 +112,7 @@ impl FrontDoor {
             default_deadline: config.default_deadline,
             queued_by_shard,
             queued_placements: HashMap::new(),
+            ttft_deadlines: false,
         }
     }
 
@@ -119,6 +125,28 @@ impl FrontDoor {
             AdmissionConfig::default(),
             Box::new(DeadlinePolicy::default()),
         )
+    }
+
+    /// A front door tuned for streaming SLOs: batches are formed
+    /// class-pure ([`DeadlinePolicy::targeting_first_token`]) so an urgent
+    /// request's time-to-first-token never includes prefill for
+    /// lower-class prompts sharing its batch, and deadlines are judged
+    /// against each request's first-token instant rather than batch
+    /// completion.
+    pub fn ttft_deadline_aware(fleet: GuillotineFleet) -> Self {
+        let mut door = FrontDoor::new(
+            fleet,
+            AdmissionConfig::default(),
+            Box::new(DeadlinePolicy::targeting_first_token()),
+        );
+        door.ttft_deadlines = true;
+        door
+    }
+
+    /// Switches deadline accounting between batch completion (`false`,
+    /// the default) and first-token instants (`true`).
+    pub fn set_ttft_deadlines(&mut self, on: bool) {
+        self.ttft_deadlines = on;
     }
 
     /// The fleet behind the door.
@@ -287,7 +315,10 @@ impl FrontDoor {
 
     /// Serves one formed batch through the fleet and settles accounting:
     /// queued-load release, queue wait added to each response's latency,
-    /// and deadline hit/miss recording against the batch completion time.
+    /// submission-to-first-token recording for streams that emitted a
+    /// token, and deadline hit/miss recording — against batch completion,
+    /// or against the first-token instant when the door judges TTFT
+    /// deadlines.
     fn serve(&mut self, batch: Vec<Admitted<ServeRequest>>) -> Result<Vec<ServeResponse>> {
         let mut stamps = Vec::with_capacity(batch.len());
         let mut requests = Vec::with_capacity(batch.len());
@@ -302,7 +333,20 @@ impl FrontDoor {
         for ((stamp, dispatched), response) in stamps.iter().zip(responses.iter_mut()) {
             let wait = dispatched.duration_since(stamp.arrival);
             response.latency.queue = response.latency.queue.saturating_add(wait);
-            self.controller.record_served(stamp, completed);
+            // The pipeline stamps time-to-first-token from batch entry;
+            // the submission-to-first-token the producer experienced adds
+            // the queue wait in front of it. Refused/never-streamed
+            // responses carry no sample.
+            let ttft = response.latency.time_to_first_token;
+            if ttft > SimDuration::ZERO {
+                self.controller.record_ttft(wait.saturating_add(ttft));
+            }
+            let achieved = if self.ttft_deadlines && ttft > SimDuration::ZERO {
+                dispatched.saturating_add(ttft)
+            } else {
+                completed
+            };
+            self.controller.record_served(stamp, achieved);
         }
         Ok(responses)
     }
@@ -383,6 +427,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: SimDuration::from_millis(1),
                 session_affinity: true,
+                ..DeadlinePolicy::default()
             }),
         )
     }
@@ -486,6 +531,61 @@ mod tests {
         let stats = d.stats();
         assert_eq!(stats.shards[0].routed, 3);
         assert_eq!(stats.shards[1].routed, 3);
+    }
+
+    #[test]
+    fn served_streams_record_submission_to_first_token() {
+        let mut d = door(16, ShedPolicy::FailClosed);
+        d.submit(benign(0));
+        d.fleet_mut().clock.advance(SimDuration::from_millis(2));
+        let responses = d.pump().unwrap();
+        assert_eq!(responses.len(), 1);
+        let stats = d.admission_stats();
+        assert_eq!(stats.ttft_samples, 1);
+        // Submission-to-first-token is the admission wait (the 2ms the
+        // request sat queued) plus the pipeline-side TTFT.
+        let pipeline_ttft = responses[0].latency.time_to_first_token;
+        assert!(pipeline_ttft > SimDuration::ZERO);
+        assert_eq!(
+            stats.ttft_max,
+            SimDuration::from_millis(2).saturating_add(pipeline_ttft)
+        );
+        assert_eq!(stats.mean_ttft(), stats.ttft_max);
+    }
+
+    #[test]
+    fn ttft_deadlines_are_judged_at_the_first_token() {
+        let run = |deadline: Option<SimDuration>, ttft_mode: bool| {
+            let fleet = GuillotineFleet::builder().with_shards(1).build().unwrap();
+            let mut d = if ttft_mode {
+                FrontDoor::ttft_deadline_aware(fleet)
+            } else {
+                FrontDoor::deadline_aware(fleet)
+            };
+            for i in 0..8 {
+                d.submit_with_deadline(benign(i), deadline);
+            }
+            let responses = d.drain().unwrap();
+            assert_eq!(responses.len(), 8);
+            let max_ttft = responses
+                .iter()
+                .map(|r| r.latency.time_to_first_token)
+                .max()
+                .unwrap();
+            (max_ttft, d.now(), d.admission_stats())
+        };
+        // Measure the gap between the last first-token instant and batch
+        // completion, then pick a deadline budget between the two: the
+        // batch misses it at completion but makes it at the first token.
+        let (max_ttft, completion, _) = run(None, false);
+        let completed = completion.duration_since(SimInstant::from_nanos(0));
+        assert!(max_ttft < completed);
+        let budget = SimDuration::from_nanos((max_ttft.as_nanos() + completed.as_nanos()) / 2);
+        let (_, _, stats) = run(Some(budget), false);
+        assert_eq!(stats.deadlines_missed, 8);
+        let (_, _, stats) = run(Some(budget), true);
+        assert_eq!(stats.deadlines_met, 8);
+        assert_eq!(stats.ttft_samples, 8);
     }
 
     #[test]

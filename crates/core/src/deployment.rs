@@ -6,7 +6,11 @@ use crate::serve::{
     truncate_on_char_boundary, LatencyBreakdown, ServeOutcomeKind, ServeRequest, ServeResponse,
     ServeStage, StageVerdict,
 };
-use guillotine_detect::{DetectorRegistry, RecommendedAction, SystemStats};
+use crate::streaming::{StreamChunk, StreamEnd, StreamedResponse, DEFAULT_CHUNK_TOKENS};
+use guillotine_detect::{
+    CompiledCategories, DetectorRegistry, RecommendedAction, StreamingSanitizer, SystemStats,
+    Verdict,
+};
 use guillotine_hv::hypervisor::PortPolicy;
 use guillotine_hv::{
     EchoDevice, GpuDevice, HvConfig, NetworkGateway, PortKind, RagDatabase, SoftwareHypervisor,
@@ -14,7 +18,8 @@ use guillotine_hv::{
 };
 use guillotine_hw::{Machine, MachineConfig};
 use guillotine_model::{
-    prompt_tokens, BatchedForwardPass, KvLookup, KvTier, KvTierStats, PrefillJob,
+    decode_byte_target, decode_tokens, prompt_tokens, BatchedForwardPass, KvLookup, KvTier,
+    KvTierStats, PrefillJob,
 };
 use guillotine_net::{Endpoint, Network, NetworkConfig, Packet, RegulatorCa};
 use guillotine_physical::quorum::{AdminSet, VoteKind};
@@ -111,6 +116,13 @@ pub struct GuillotineDeployment {
     kv: Option<Arc<KvTier>>,
     detector_names: Vec<String>,
     stats_window: StatsWindow,
+    /// The output sanitizer's compiled category automaton, shared with the
+    /// per-stream [`StreamingSanitizer`]s so chunks are redacted with the
+    /// exact pattern set the whole-response screen uses. `None` when the
+    /// detector stack has no output sanitizer: chunks stream through
+    /// unredacted and only the final whole-response screen gates delivery.
+    stream_categories: Option<Arc<CompiledCategories>>,
+    severed_streams: u64,
 }
 
 impl GuillotineDeployment {
@@ -142,6 +154,7 @@ impl GuillotineDeployment {
 
         // Microarchitectural + software hypervisor.
         let detector_names = registry.names();
+        let stream_categories = registry.streaming_categories().cloned();
         let machine = Machine::new(MachineConfig::guillotine(config.machine));
         let mut hypervisor = SoftwareHypervisor::new(
             machine,
@@ -227,6 +240,8 @@ impl GuillotineDeployment {
             kv,
             detector_names,
             stats_window: StatsWindow::default(),
+            stream_categories,
+            severed_streams: 0,
             config,
         })
     }
@@ -321,6 +336,13 @@ impl GuillotineDeployment {
     /// Number of detector-driven escalations that have been applied.
     pub fn escalations_applied(&self) -> u64 {
         self.escalations_applied
+    }
+
+    /// Number of streams this deployment has terminated with
+    /// [`StreamEnd::SeveredMidStream`]: requests whose decode was cut off
+    /// (possibly before the first token) by a batch-level escalation.
+    pub fn severed_streams(&self) -> u64 {
+        self.severed_streams
     }
 
     /// Number of forward-pass launches (weight sweeps) performed so far.
@@ -430,6 +452,32 @@ impl GuillotineDeployment {
 
     /// Serves a batch of requests through the full screened path.
     ///
+    /// This is a drain of [`GuillotineDeployment::serve_batch_streaming`]:
+    /// there is exactly **one decode path** in the tree, and the
+    /// non-streaming API simply discards each request's chunk sequence and
+    /// terminal event. See the streaming variant for the pipeline
+    /// semantics.
+    pub fn serve_batch(&mut self, requests: Vec<ServeRequest>) -> Result<Vec<ServeResponse>> {
+        Ok(self
+            .serve_batch_streaming(requests)?
+            .into_iter()
+            .map(|streamed| streamed.response)
+            .collect())
+    }
+
+    /// Serves a batch through the streaming front door at the default chunk
+    /// granularity ([`DEFAULT_CHUNK_TOKENS`] decode tokens per chunk); see
+    /// [`GuillotineDeployment::serve_batch_streaming_with_chunk`].
+    pub fn serve_batch_streaming(
+        &mut self,
+        requests: Vec<ServeRequest>,
+    ) -> Result<Vec<StreamedResponse>> {
+        self.serve_batch_streaming_with_chunk(requests, DEFAULT_CHUNK_TOKENS)
+    }
+
+    /// Serves a batch of requests through the full screened path, decoding
+    /// incrementally and streaming redacted chunks.
+    ///
     /// Pipeline semantics, in order:
     ///
     /// 1. **System snapshot.** The anomaly detector sees *one*
@@ -460,21 +508,42 @@ impl GuillotineDeployment {
     ///    prefill latency saved — with the reuse reported per request as
     ///    `kv_hit` and `latency.kv_saved`. Answers are generated from the
     ///    full prompt either way, so delivered bytes are identical with the
-    ///    tier on or off. The simulated answer classifier shares a
-    ///    process-wide compiled automaton, so it too is one pass per
-    ///    prompt.
-    /// 5. **Output screening** per request, in priority order: one
-    ///    automaton pass per response yields the matched categories and the
-    ///    byte spans redaction splices directly. Should a response verdict
-    ///    recommend `Sever` or worse (possible with custom detectors), the
-    ///    escalation is applied on the spot and the remaining requests
-    ///    short-circuit to `Escalated`.
+    ///    tier on or off.
+    /// 5. **Incremental decode.** The launch and prefill costs advance the
+    ///    clock up front; decode then proceeds in lockstep rounds of
+    ///    `chunk_tokens` tokens per surviving stream (priority order within
+    ///    a round). Each chunk advances the clock by its telescoping share
+    ///    of the per-sequence decode cost — the shares sum *exactly* to the
+    ///    non-streaming decode latency — and its raw bytes flow through a
+    ///    per-stream [`StreamingSanitizer`] that redacts forbidden content
+    ///    on the fly, holding back at most `max_pattern_len - 1` bytes at
+    ///    chunk seams. The first chunk stamps the request's
+    ///    `time_to_first_token`.
+    /// 6. **Output screening** when a stream's decode completes and every
+    ///    higher-priority survivor has screened (so verdict order matches
+    ///    the non-streaming pipeline exactly): one automaton pass over the
+    ///    whole response yields the delivered text and the stage verdict.
+    ///    Should a response verdict recommend `Sever` or worse (possible
+    ///    with custom detectors), the escalation is applied on the spot;
+    ///    if it cuts the ports, every in-flight stream is severed **at its
+    ///    current token** — terminal event
+    ///    [`StreamEnd::SeveredMidStream`], outcome
+    ///    [`ServeOutcomeKind::Escalated`], no further chunks, and decode
+    ///    billed only up to the severed token.
     ///
-    /// Responses always come back in submission order, one per request.
-    pub fn serve_batch(&mut self, requests: Vec<ServeRequest>) -> Result<Vec<ServeResponse>> {
+    /// Responses always come back in submission order, one per request. A
+    /// stream ends [`StreamEnd::SeveredMidStream`] if and only if its
+    /// response outcome is [`ServeOutcomeKind::Escalated`].
+    pub fn serve_batch_streaming_with_chunk(
+        &mut self,
+        requests: Vec<ServeRequest>,
+        chunk_tokens: u64,
+    ) -> Result<Vec<StreamedResponse>> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let chunk_tokens = chunk_tokens.max(1);
+        let entry = self.clock.now();
         let queue_latency = SimDuration::from_micros(50);
         let input_latency = SimDuration::from_micros(20);
         let output_latency = SimDuration::from_micros(10);
@@ -493,24 +562,39 @@ impl GuillotineDeployment {
         if !admission_level.ports_available() {
             self.apply_pending_escalation()?;
             let final_level = self.isolation_level();
+            // Refused at admission: the stream never opened, so it ends
+            // `Completed` (severing is reserved for streams cut mid-batch).
             return Ok(requests
                 .into_iter()
-                .map(|request| ServeResponse {
-                    session: request.session,
-                    outcome: ServeOutcomeKind::Refused,
-                    response: String::new(),
-                    verdicts: vec![StageVerdict {
-                        stage: ServeStage::SystemAnomaly,
-                        verdict: stats_verdict.clone(),
-                    }],
-                    latency: LatencyBreakdown {
-                        queue: queue_latency,
-                        ..LatencyBreakdown::default()
+                .map(|request| StreamedResponse {
+                    chunks: Vec::new(),
+                    end: StreamEnd::Completed,
+                    response: ServeResponse {
+                        session: request.session,
+                        outcome: ServeOutcomeKind::Refused,
+                        response: String::new(),
+                        verdicts: vec![StageVerdict {
+                            stage: ServeStage::SystemAnomaly,
+                            verdict: stats_verdict.clone(),
+                        }],
+                        latency: LatencyBreakdown {
+                            queue: queue_latency,
+                            ..LatencyBreakdown::default()
+                        },
+                        kv_hit: false,
+                        isolation: final_level,
                     },
-                    kv_hit: false,
-                    isolation: final_level,
                 })
                 .collect());
+        }
+
+        // The verdict a severed stream will carry: the most recent verdict
+        // that recommended `Sever` or worse, falling back to the batch's
+        // system-stats verdict when the escalation came from outside the
+        // text screens.
+        let mut sever_verdict: Option<Verdict> = None;
+        if stats_verdict.flagged && stats_verdict.action >= RecommendedAction::Sever {
+            sever_verdict = Some(stats_verdict.clone());
         }
 
         // Priority order: higher priorities first, ties by submission order
@@ -553,6 +637,9 @@ impl GuillotineDeployment {
             if verdict.flagged && verdict.action > RecommendedAction::Sanitize {
                 slots[i].outcome = Some(ServeOutcomeKind::Refused);
             }
+            if verdict.flagged && verdict.action >= RecommendedAction::Sever {
+                sever_verdict = Some(verdict.clone());
+            }
             slots[i].verdicts.push(StageVerdict {
                 stage: ServeStage::InputShield,
                 verdict,
@@ -561,7 +648,7 @@ impl GuillotineDeployment {
 
         // Batch-level escalation from the stats pass or the input phase.
         self.apply_pending_escalation()?;
-        let mut short_circuited = !self.isolation_level().ports_available();
+        let short_circuited = !self.isolation_level().ports_available();
 
         // One batched forward pass over the surviving prompts.
         let survivors: Vec<usize> = order
@@ -596,105 +683,241 @@ impl GuillotineDeployment {
                 .collect();
             let answers = self.forward.run_prefill_decode(&jobs);
             let launch = self.forward.launch_latency();
-            let per_sequence = self.forward.per_sequence_latency();
             let batch_prefill = lookups.iter().fold(SimDuration::ZERO, |acc, lookup| {
                 acc.saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()))
             });
-            self.clock.advance(
-                launch
-                    .saturating_add(batch_prefill)
-                    .saturating_add(per_sequence.saturating_mul(survivors.len() as u64)),
-            );
+            // Launch and prefill advance the clock up front; decode is
+            // incremental, billed chunk by chunk in the streaming loop
+            // below.
+            self.clock.advance(launch.saturating_add(batch_prefill));
             // Split the launch cost so the per-request shares sum back
             // exactly to the batch launch latency: everyone gets the floor
             // share, and the first `remainder` survivors absorb one extra
             // nanosecond each. Prefill and decode are genuinely
-            // per-sequence costs, so each request carries its own.
+            // per-sequence costs, so each request carries its own (decode
+            // accumulates as the stream's chunks are produced).
             let n = survivors.len() as u64;
             let base_share = launch.as_nanos() / n;
             let remainder = launch.as_nanos() % n;
             for (k, (&i, lookup)) in survivors.iter().zip(&lookups).enumerate() {
                 let extra = u64::from((k as u64) < remainder);
                 slots[i].latency.inference = SimDuration::from_nanos(base_share + extra)
-                    .saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()))
-                    .saturating_add(per_sequence);
+                    .saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()));
                 slots[i].latency.kv_saved = self.forward.prefill_latency(lookup.cached_tokens);
                 slots[i].kv_hit = lookup.hit();
             }
             answers
         };
 
-        // Output screening in priority order, with batch short-circuit.
-        for (&i, answer) in survivors.iter().zip(answers) {
-            if short_circuited {
-                slots[i].outcome = Some(ServeOutcomeKind::Escalated);
-                continue;
+        // The live state of one in-flight stream. `done` flips when the
+        // stream screens (outcome set) or is severed (outcome left `None`,
+        // resolved to `Escalated` at assembly).
+        struct StreamState {
+            slot: usize,
+            answer: String,
+            total: u64,
+            decoded: u64,
+            cursor: usize,
+            sanitizer: Option<StreamingSanitizer>,
+            chunks: Vec<StreamChunk>,
+            done: bool,
+        }
+        let mut streams: Vec<StreamState> = survivors
+            .iter()
+            .zip(answers)
+            .map(|(&i, answer)| StreamState {
+                slot: i,
+                total: decode_tokens(&answer),
+                answer,
+                decoded: 0,
+                cursor: 0,
+                sanitizer: self
+                    .stream_categories
+                    .as_ref()
+                    .map(|compiled| StreamingSanitizer::new(Arc::clone(compiled))),
+                chunks: Vec::new(),
+                done: false,
+            })
+            .collect();
+
+        // Incremental decode + screening. Streams run in lockstep rounds of
+        // `chunk_tokens` tokens; a stream screens the moment its decode
+        // completes *and* every higher-priority survivor has screened, so
+        // verdicts and escalations fire in exactly the order the
+        // non-streaming pipeline used.
+        let mut unfinished = streams.len();
+        'streaming: while unfinished > 0 {
+            // One decode round, priority order within the round.
+            for stream in &mut streams {
+                if stream.done || stream.decoded == stream.total {
+                    continue;
+                }
+                let step = chunk_tokens.min(stream.total - stream.decoded);
+                let before = self
+                    .forward
+                    .decode_prefix_latency(stream.decoded, stream.total);
+                let after = self
+                    .forward
+                    .decode_prefix_latency(stream.decoded + step, stream.total);
+                // Monotone by construction, so the subtraction cannot wrap;
+                // the deltas telescope to the exact per-sequence decode
+                // latency when the stream runs to completion.
+                let delta = SimDuration::from_nanos(after.as_nanos() - before.as_nanos());
+                self.clock.advance(delta);
+                let slot = &mut slots[stream.slot];
+                slot.latency.inference = slot.latency.inference.saturating_add(delta);
+                if slot.latency.time_to_first_token == SimDuration::ZERO {
+                    slot.latency.time_to_first_token = self.clock.now().duration_since(entry);
+                }
+                let offset = stream.decoded;
+                stream.decoded += step;
+                let target = decode_byte_target(&stream.answer, stream.decoded, stream.total);
+                let raw = &stream.answer[stream.cursor..target];
+                stream.cursor = target;
+                let emitted = match stream.sanitizer.as_mut() {
+                    Some(sanitizer) => sanitizer.push(raw),
+                    None => raw.to_string(),
+                };
+                if !emitted.is_empty() {
+                    stream.chunks.push(StreamChunk {
+                        offset_tokens: offset,
+                        text: emitted,
+                        at: self.clock.now(),
+                    });
+                }
             }
-            self.clock.advance(output_latency);
-            let now = self.clock.now();
-            let (mut delivered, verdict) = self.hypervisor.screen_response(&answer, now);
-            slots[i].latency.output_screen = output_latency;
-            let escalates = verdict.flagged && verdict.action >= RecommendedAction::Sever;
-            let policy = requests[i].policy;
-            // Policy truncation runs before classification so a response cut
-            // to nothing is a Refused, never an empty Delivered.
-            if let Some(max) = policy.max_response_bytes {
-                truncate_on_char_boundary(&mut delivered, max);
-            }
-            let outcome = if delivered.is_empty() {
-                ServeOutcomeKind::Refused
-            } else if verdict.flagged && verdict.action >= RecommendedAction::Sanitize {
-                if policy.refuse_sanitized {
+            // Screen the leading run of decode-complete streams.
+            for k in 0..streams.len() {
+                if streams[k].done {
+                    continue;
+                }
+                if streams[k].decoded < streams[k].total {
+                    break;
+                }
+                // Flush the sanitizer's seam buffer before the final screen
+                // so the stream's chunks concatenate to the full sanitized
+                // text.
+                let flushed = match streams[k].sanitizer.as_mut() {
+                    Some(sanitizer) => sanitizer.finish(),
+                    None => String::new(),
+                };
+                if !flushed.is_empty() {
+                    let offset = streams[k].decoded;
+                    let at = self.clock.now();
+                    streams[k].chunks.push(StreamChunk {
+                        offset_tokens: offset,
+                        text: flushed,
+                        at,
+                    });
+                }
+                self.clock.advance(output_latency);
+                let now = self.clock.now();
+                let i = streams[k].slot;
+                let (mut delivered, verdict) =
+                    self.hypervisor.screen_response(&streams[k].answer, now);
+                slots[i].latency.output_screen = output_latency;
+                let escalates = verdict.flagged && verdict.action >= RecommendedAction::Sever;
+                if escalates {
+                    sever_verdict = Some(verdict.clone());
+                }
+                let policy = requests[i].policy;
+                // Policy truncation runs before classification so a response
+                // cut to nothing is a Refused, never an empty Delivered.
+                if let Some(max) = policy.max_response_bytes {
+                    truncate_on_char_boundary(&mut delivered, max);
+                }
+                let outcome = if delivered.is_empty() {
                     ServeOutcomeKind::Refused
+                } else if verdict.flagged && verdict.action >= RecommendedAction::Sanitize {
+                    if policy.refuse_sanitized {
+                        ServeOutcomeKind::Refused
+                    } else {
+                        ServeOutcomeKind::Sanitized
+                    }
                 } else {
-                    ServeOutcomeKind::Sanitized
+                    ServeOutcomeKind::Delivered
+                };
+                if matches!(
+                    outcome,
+                    ServeOutcomeKind::Delivered | ServeOutcomeKind::Sanitized
+                ) {
+                    slots[i].response = delivered;
                 }
-            } else {
-                ServeOutcomeKind::Delivered
-            };
-            if matches!(
-                outcome,
-                ServeOutcomeKind::Delivered | ServeOutcomeKind::Sanitized
-            ) {
-                slots[i].response = delivered;
-            }
-            slots[i].outcome = Some(outcome);
-            slots[i].verdicts.push(StageVerdict {
-                stage: ServeStage::OutputSanitizer,
-                verdict,
-            });
-            if escalates {
-                self.apply_pending_escalation()?;
-                if !self.isolation_level().ports_available() {
-                    short_circuited = true;
+                slots[i].outcome = Some(outcome);
+                slots[i].verdicts.push(StageVerdict {
+                    stage: ServeStage::OutputSanitizer,
+                    verdict,
+                });
+                streams[k].done = true;
+                unfinished -= 1;
+                if escalates {
+                    self.apply_pending_escalation()?;
+                }
+                slots[i].isolation = self.isolation_level();
+                if escalates && !self.isolation_level().ports_available() {
+                    // Mid-batch escalation: sever every in-flight stream at
+                    // its current token. Their outcomes stay `None` (resolved
+                    // to `Escalated` below) and no further chunks are
+                    // emitted — the sanitizer's held-back seam bytes are
+                    // dropped with the stream.
+                    for stream in streams.iter_mut().filter(|s| !s.done) {
+                        stream.done = true;
+                    }
+                    break 'streaming;
                 }
             }
-            slots[i].isolation = self.isolation_level();
         }
 
         // Anything still undecided was cut off by a batch-level escalation.
         self.apply_pending_escalation()?;
         let final_level = self.isolation_level();
+        let severing_verdict = sever_verdict.unwrap_or_else(|| stats_verdict.clone());
+        let mut stream_chunks: Vec<Vec<StreamChunk>> =
+            requests.iter().map(|_| Vec::new()).collect();
+        let mut stream_decoded: Vec<u64> = vec![0; requests.len()];
+        for stream in streams {
+            stream_decoded[stream.slot] = stream.decoded;
+            stream_chunks[stream.slot] = stream.chunks;
+        }
         Ok(requests
             .into_iter()
             .zip(slots)
-            .map(|(request, slot)| {
-                ServeResponse {
-                    session: request.session,
-                    outcome: slot.outcome.unwrap_or(ServeOutcomeKind::Escalated),
-                    response: slot.response,
-                    verdicts: slot.verdicts,
-                    latency: slot.latency,
-                    kv_hit: slot.kv_hit,
-                    // Delivered/Sanitized requests completed at the level
-                    // recorded when their output cleared; everything that was
-                    // refused or cut off completes with the batch itself, at
-                    // whatever level the escalations left the deployment.
-                    isolation: match slot.outcome {
-                        Some(ServeOutcomeKind::Delivered) | Some(ServeOutcomeKind::Sanitized) => {
-                            slot.isolation
-                        }
-                        _ => final_level,
+            .enumerate()
+            .map(|(idx, (request, slot))| {
+                let outcome = slot.outcome.unwrap_or(ServeOutcomeKind::Escalated);
+                // `SeveredMidStream` if and only if the request was cut off
+                // by a batch-level escalation — including pre-decode cuts,
+                // which sever at token zero.
+                let end = if outcome == ServeOutcomeKind::Escalated {
+                    self.severed_streams += 1;
+                    StreamEnd::SeveredMidStream {
+                        at_token: stream_decoded[idx],
+                        verdict: severing_verdict.clone(),
+                    }
+                } else {
+                    StreamEnd::Completed
+                };
+                StreamedResponse {
+                    chunks: std::mem::take(&mut stream_chunks[idx]),
+                    end,
+                    response: ServeResponse {
+                        session: request.session,
+                        outcome,
+                        response: slot.response,
+                        verdicts: slot.verdicts,
+                        latency: slot.latency,
+                        kv_hit: slot.kv_hit,
+                        // Delivered/Sanitized requests completed at the level
+                        // recorded when their output cleared; everything that
+                        // was refused or cut off completes with the batch
+                        // itself, at whatever level the escalations left the
+                        // deployment.
+                        isolation: match outcome {
+                            ServeOutcomeKind::Delivered | ServeOutcomeKind::Sanitized => {
+                                slot.isolation
+                            }
+                            _ => final_level,
+                        },
                     },
                 }
             })

@@ -160,6 +160,9 @@ pub struct ShardStats {
     pub forward_launches: u64,
     /// Detector-driven escalations applied on this shard.
     pub escalations_applied: u64,
+    /// Streams this shard terminated with `SeveredMidStream`: requests
+    /// whose decode was cut off mid-flight by a batch-level escalation.
+    pub severed_streams: u64,
     /// Outcome histogram of every response this shard produced.
     pub outcomes: OutcomeHistogram,
 }
@@ -218,6 +221,11 @@ impl FleetStats {
     /// Total forward-pass launches across all shards.
     pub fn forward_launches(&self) -> u64 {
         self.shards.iter().map(|s| s.forward_launches).sum()
+    }
+
+    /// Total streams severed mid-flight across all shards.
+    pub fn severed_streams(&self) -> u64 {
+        self.shards.iter().map(|s| s.severed_streams).sum()
     }
 
     /// Number of quarantined shards.
@@ -280,6 +288,15 @@ impl FleetReport {
             ),
             None => String::new(),
         };
+        let ttft_line = match &self.stats.admission {
+            Some(a) if a.ttft_samples > 0 => format!(
+                "time to first token      : mean {}, max {} ({} streams)\n",
+                a.mean_ttft(),
+                a.ttft_max,
+                a.ttft_samples,
+            ),
+            _ => String::new(),
+        };
         let admission_line = match &self.stats.admission {
             Some(a) => format!(
                 "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n",
@@ -301,7 +318,7 @@ impl FleetReport {
             None => String::new(),
         };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\n{}{}",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -311,7 +328,9 @@ impl FleetReport {
             totals.sanitized,
             totals.refused,
             totals.escalated,
+            self.stats.severed_streams(),
             kv_line,
+            ttft_line,
             admission_line,
         )
     }
@@ -937,6 +956,7 @@ impl GuillotineFleet {
                     routed: s.routed,
                     forward_launches: s.deployment.forward_launches(),
                     escalations_applied: s.deployment.escalations_applied(),
+                    severed_streams: s.deployment.severed_streams(),
                     outcomes: s.outcomes,
                 })
                 .collect(),

@@ -94,6 +94,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod report;
 pub mod serve;
+pub mod streaming;
 
 pub use admission::{AdmissionConfig, FrontDoor, TimedArrival};
 pub use builder::DeploymentBuilder;
@@ -108,6 +109,7 @@ pub use serve::{
     LatencyBreakdown, RequestPolicy, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,
     ServeStage, StageVerdict,
 };
+pub use streaming::{StreamChunk, StreamEnd, StreamedResponse, DEFAULT_CHUNK_TOKENS};
 
 // The KV tier types, re-exported so serving callers (and the benches) can
 // size and share a tier without depending on `guillotine-model` directly.
@@ -118,5 +120,5 @@ pub use guillotine_model::{KvCacheConfig, KvLookup, KvTier, KvTierStats};
 // `guillotine-admit` directly.
 pub use guillotine_admit::{
     AdmissionDecision, AdmissionStats, ArrivalGen, ArrivalProcess, BatchPolicy, DeadlinePolicy,
-    FifoWavePolicy, ShedPolicy,
+    DeadlineTarget, FifoWavePolicy, ShedPolicy,
 };

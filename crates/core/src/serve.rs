@@ -165,6 +165,13 @@ pub struct LatencyBreakdown {
     /// already reflects only the work actually done. Zero when the
     /// deployment has no KV tier.
     pub kv_saved: SimDuration,
+    /// Time from entering `serve_batch` until this request's first decoded
+    /// chunk left the streaming pipeline — the TTFT the admission tier
+    /// schedules against. Zero when no token was ever emitted (refused at
+    /// input, or severed before decode began). A component view of the
+    /// pipeline, not an additional stage, so it is excluded from
+    /// [`LatencyBreakdown::total`].
+    pub time_to_first_token: SimDuration,
 }
 
 impl LatencyBreakdown {
@@ -281,8 +288,10 @@ mod tests {
             inference: SimDuration::from_micros(30),
             output_screen: SimDuration::from_micros(40),
             kv_saved: SimDuration::from_micros(999),
+            time_to_first_token: SimDuration::from_micros(35),
         };
-        // kv_saved is counterfactual and never counts toward the total.
+        // kv_saved is counterfactual and time_to_first_token is a component
+        // view of the same pipeline; neither counts toward the total.
         assert_eq!(l.total(), SimDuration::from_micros(100));
     }
 

@@ -1,0 +1,53 @@
+//! Streamed serving results: the chunk sequences and typed terminal events
+//! produced by `GuillotineDeployment::serve_batch_streaming`.
+//!
+//! The chunk vocabulary itself ([`StreamChunk`], [`StreamEnd`],
+//! [`DEFAULT_CHUNK_TOKENS`]) lives in `guillotine-stream` so the model and
+//! detector layers can speak it without depending on the umbrella crate;
+//! this module re-exports it and adds the serving-level envelope,
+//! [`StreamedResponse`], which pairs a request's live stream with the same
+//! structured [`ServeResponse`] the non-streaming front door returns.
+
+use crate::serve::ServeResponse;
+use guillotine_detect::Verdict;
+
+pub use guillotine_stream::{StreamChunk, StreamEnd, DEFAULT_CHUNK_TOKENS};
+
+/// Everything one request produced on the streaming front door: the redacted
+/// chunks in emission order, the typed terminal event, and the assembled
+/// [`ServeResponse`] (identical to what the non-streaming `serve_batch`
+/// returns — it *is* what `serve_batch` returns, since the non-streaming
+/// path drains this one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedResponse {
+    /// Sanitized chunks in the order they left the pipeline. Empty for
+    /// requests refused before decode and for streams the sanitizer held
+    /// back entirely.
+    pub chunks: Vec<StreamChunk>,
+    /// How the stream terminated. [`StreamEnd::SeveredMidStream`] if and
+    /// only if the response outcome is
+    /// [`crate::serve::ServeOutcomeKind::Escalated`]: a batch-level
+    /// escalation cut the ports while this stream was in flight, and no
+    /// chunk was emitted past `at_token`.
+    pub end: StreamEnd<Verdict>,
+    /// The structured response assembled after the stream terminated.
+    pub response: ServeResponse,
+}
+
+impl StreamedResponse {
+    /// True when the stream was severed mid-flight by a batch-level
+    /// escalation.
+    pub fn is_severed(&self) -> bool {
+        self.end.is_severed()
+    }
+
+    /// Concatenation of every chunk that reached the client — the text a
+    /// streaming consumer would have assembled.
+    pub fn streamed_text(&self) -> String {
+        let mut text = String::new();
+        for chunk in &self.chunks {
+            text.push_str(&chunk.text);
+        }
+        text
+    }
+}

@@ -66,6 +66,7 @@ pub mod output_sanitizer;
 pub mod registry;
 mod scan_util;
 pub mod steering;
+pub mod streaming;
 pub mod verdict;
 
 pub use anomaly::{AnomalyDetector, SystemBaseline};
@@ -76,4 +77,5 @@ pub use observation::{ActivationStep, ActivationTrace, ModelObservation, SystemS
 pub use output_sanitizer::{CompiledCategories, ForbiddenCategory, OutputSanitizer};
 pub use registry::DetectorRegistry;
 pub use steering::ActivationSteering;
+pub use streaming::StreamingSanitizer;
 pub use verdict::{Detector, RecommendedAction, Verdict};

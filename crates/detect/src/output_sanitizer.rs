@@ -90,6 +90,12 @@ impl CompiledCategories {
     pub fn matcher(&self) -> &Matcher {
         &self.matcher
     }
+
+    /// Index of the category owning `pattern` (a pattern id reported by
+    /// [`CompiledCategories::matcher`]).
+    pub fn category_of_pattern(&self, pattern: usize) -> usize {
+        self.marker_category[pattern]
+    }
 }
 
 /// The output sanitizer: scans responses and replaces forbidden spans with a
@@ -115,6 +121,11 @@ impl Default for OutputSanitizer {
 }
 
 impl OutputSanitizer {
+    /// The marker spliced over every redacted span, shared with the
+    /// streaming sanitizer so chunked and whole-string redaction produce
+    /// byte-identical output.
+    pub const REDACTION: &'static str = "[REDACTED BY GUILLOTINE]";
+
     /// Creates a sanitizer with the default category set.
     pub fn new() -> Self {
         OutputSanitizer::with_compiled(Arc::new(CompiledCategories::standard()))
@@ -125,7 +136,7 @@ impl OutputSanitizer {
     pub fn with_compiled(compiled: Arc<CompiledCategories>) -> Self {
         OutputSanitizer {
             compiled,
-            redaction: "[REDACTED BY GUILLOTINE]".into(),
+            redaction: OutputSanitizer::REDACTION.into(),
             inspected: 0,
             sanitized: 0,
         }

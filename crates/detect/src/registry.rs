@@ -11,9 +11,10 @@ use crate::anomaly::AnomalyDetector;
 use crate::circuit_breaker::CircuitBreaker;
 use crate::composite::CompositeDetector;
 use crate::input_shield::InputShield;
-use crate::output_sanitizer::OutputSanitizer;
+use crate::output_sanitizer::{CompiledCategories, OutputSanitizer};
 use crate::steering::ActivationSteering;
 use crate::verdict::Detector;
+use std::sync::Arc;
 
 /// An ordered collection of boxed [`Detector`]s awaiting installation.
 ///
@@ -21,8 +22,16 @@ use crate::verdict::Detector;
 /// order, so deployments usually register the cheap text screens first and
 /// the stateful system detectors last, as [`DetectorRegistry::standard`]
 /// does.
+///
+/// Beside the boxed stack the registry carries one piece of out-of-band
+/// wiring: the compiled category set of the output sanitizer, when one is
+/// registered through the standard constructors. Boxed trait objects cannot
+/// be introspected after the fact, and the streaming serve path needs the
+/// same categories to redact chunks on the fly — so the constructors stash
+/// the shared [`CompiledCategories`] here for the deployment to pick up.
 pub struct DetectorRegistry {
     detectors: Vec<Box<dyn Detector>>,
+    streaming_categories: Option<Arc<CompiledCategories>>,
 }
 
 impl Default for DetectorRegistry {
@@ -36,6 +45,7 @@ impl DetectorRegistry {
     pub fn new() -> Self {
         DetectorRegistry {
             detectors: Vec::new(),
+            streaming_categories: None,
         }
     }
 
@@ -55,6 +65,7 @@ impl DetectorRegistry {
     /// compiled automatons, so N shards cost one compilation, not N.
     pub fn standard_with_screens(shield: InputShield, sanitizer: OutputSanitizer) -> Self {
         let mut registry = DetectorRegistry::new();
+        registry.streaming_categories = Some(Arc::clone(sanitizer.compiled()));
         registry
             .register(Box::new(shield))
             .register(Box::new(sanitizer))
@@ -68,6 +79,22 @@ impl DetectorRegistry {
     pub fn register(&mut self, detector: Box<dyn Detector>) -> &mut Self {
         self.detectors.push(detector);
         self
+    }
+
+    /// Declares the compiled category set streaming redaction should use.
+    ///
+    /// The standard constructors set this automatically from the output
+    /// sanitizer they register; bespoke stacks that register a boxed
+    /// sanitizer directly call this to opt their categories into on-the-fly
+    /// chunk redaction.
+    pub fn with_streaming_categories(&mut self, compiled: Arc<CompiledCategories>) -> &mut Self {
+        self.streaming_categories = Some(compiled);
+        self
+    }
+
+    /// The compiled category set for streaming redaction, when one is known.
+    pub fn streaming_categories(&self) -> Option<&Arc<CompiledCategories>> {
+        self.streaming_categories.as_ref()
     }
 
     /// The names of the registered detectors, in order.
@@ -135,6 +162,22 @@ mod tests {
         registry.register(Box::new(InputShield::new()));
         let composite = registry.into_composite();
         assert_eq!(composite.len(), 1);
+    }
+
+    #[test]
+    fn standard_registry_exposes_the_sanitizers_categories_for_streaming() {
+        let sanitizer = OutputSanitizer::new();
+        let compiled = Arc::clone(sanitizer.compiled());
+        let registry = DetectorRegistry::standard_with_screens(InputShield::new(), sanitizer);
+        assert!(Arc::ptr_eq(
+            registry.streaming_categories().unwrap(),
+            &compiled
+        ));
+        // A bespoke stack starts without one and can opt in.
+        let mut bespoke = DetectorRegistry::new();
+        assert!(bespoke.streaming_categories().is_none());
+        bespoke.with_streaming_categories(compiled);
+        assert!(bespoke.streaming_categories().is_some());
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! On-the-fly redaction for streaming responses.
+//!
+//! [`StreamingSanitizer`] is the chunk-at-a-time form of
+//! [`OutputSanitizer::sanitize`]: feed it the decoded text in arbitrary
+//! slices and it emits the same redacted text the whole-string sanitizer
+//! would produce — byte-identical for *every* possible chunking, which the
+//! seam proptest in the umbrella crate's `tests/streaming.rs` pins down.
+//!
+//! # The carry-over buffer
+//!
+//! A forbidden marker can straddle a chunk seam, so the sanitizer cannot
+//! emit everything it has seen: it withholds a carry-over buffer at each
+//! seam. The contract (shared with `guillotine-stream`'s module docs) is
+//! that the buffer is bounded by `max_pattern_len - 1` bytes — any match
+//! crossing a seam starts within that many bytes of it — with two small,
+//! bounded exceptions: a *word-bounded* marker ending flush with the seam
+//! stays buffered until the next byte decides its right boundary (at most
+//! the longest word-bounded marker, under four bytes for the default
+//! categories), and a seam landing inside a multi-byte UTF-8 character
+//! keeps that character whole (at most three extra bytes).
+//!
+//! A redaction *group* — overlapping marker spans merge into one redaction,
+//! exactly as `sanitize` merges them — can grow longer than any single
+//! pattern, but its bytes are not buffered: once a group's start is
+//! settled, the sanitizer remembers only the group's current end (the text
+//! is going to be replaced by one redaction marker regardless), so the
+//! buffer stays bounded even while a chained overlap is in flight.
+
+use crate::output_sanitizer::{CompiledCategories, OutputSanitizer};
+use std::sync::Arc;
+
+/// True for bytes that extend an ASCII word, mirroring the automaton's
+/// word-boundary rule.
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Largest char-boundary position of `s` at or below `i`.
+fn snap_down(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Chunk-at-a-time output sanitization with a bounded seam buffer.
+///
+/// ```
+/// use guillotine_detect::{CompiledCategories, StreamingSanitizer};
+/// use std::sync::Arc;
+///
+/// let compiled = Arc::new(CompiledCategories::standard());
+/// let mut stream = StreamingSanitizer::new(Arc::clone(&compiled));
+/// let mut out = stream.push("a common precu");
+/// out.push_str(&stream.push("rsor ships today"));
+/// out.push_str(&stream.finish());
+/// assert_eq!(out, "a common [REDACTED BY GUILLOTINE] ships today");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingSanitizer {
+    compiled: Arc<CompiledCategories>,
+    /// Unresolved stream suffix: the bytes at absolute positions
+    /// `[tail_offset, total)`.
+    tail: String,
+    /// Absolute stream offset of `tail`'s first byte.
+    tail_offset: usize,
+    /// Total bytes pushed so far.
+    total: usize,
+    /// Whether the byte just before `tail` is an ASCII word byte (`false`
+    /// at the start of the stream), so word-boundary checks survive trims.
+    prev_is_word: bool,
+    /// Absolute end of a redaction group whose marker is still pending:
+    /// its clean prefix is emitted, its bytes up to `tail_offset` dropped,
+    /// and later matches starting before this end still extend it.
+    open_end: Option<usize>,
+    /// Which categories have had a marker confirmed so far.
+    category_hit: Vec<bool>,
+    finished: bool,
+}
+
+impl StreamingSanitizer {
+    /// Creates a streaming sanitizer over a compiled category set.
+    pub fn new(compiled: Arc<CompiledCategories>) -> Self {
+        let categories = compiled.categories().len();
+        StreamingSanitizer {
+            compiled,
+            tail: String::new(),
+            tail_offset: 0,
+            total: 0,
+            prev_is_word: false,
+            open_end: None,
+            category_hit: vec![false; categories],
+            finished: false,
+        }
+    }
+
+    /// Feeds the next chunk of raw text; returns whatever sanitized text is
+    /// now settled (possibly empty — the seam buffer may withhold bytes).
+    pub fn push(&mut self, chunk: &str) -> String {
+        debug_assert!(!self.finished, "push after finish");
+        self.tail.push_str(chunk);
+        self.total += chunk.len();
+        self.resolve(false)
+    }
+
+    /// Declares the end of the stream, flushing the carry-over buffer and
+    /// resolving any pending redaction group. Terminal: `push` must not be
+    /// called afterwards.
+    pub fn finish(&mut self) -> String {
+        self.finished = true;
+        self.resolve(true)
+    }
+
+    /// Bytes currently withheld at the seam (the carry-over buffer).
+    pub fn carry_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Names of the categories whose markers have been confirmed so far, in
+    /// registration order.
+    pub fn matched_categories(&self) -> Vec<String> {
+        self.compiled
+            .categories()
+            .iter()
+            .zip(&self.category_hit)
+            .filter(|&(_, &hit)| hit)
+            .map(|(category, _)| category.name.clone())
+            .collect()
+    }
+
+    /// Maximum severity among the matched categories (0.0 if none).
+    pub fn max_severity(&self) -> f64 {
+        self.compiled
+            .categories()
+            .iter()
+            .zip(&self.category_hit)
+            .filter(|(_, &hit)| hit)
+            .fold(0.0_f64, |acc, (category, _)| acc.max(category.severity))
+    }
+
+    /// One resolution pass: scan the unresolved tail, settle everything
+    /// left of the frontier, emit its clean text and closed redaction
+    /// groups, and trim the tail to the frontier.
+    fn resolve(&mut self, at_end: bool) -> String {
+        let compiled = Arc::clone(&self.compiled);
+        let matcher = compiled.matcher();
+        let max_len = matcher.max_pattern_len();
+        let base = self.tail_offset;
+        let total = self.total;
+
+        // The frontier: the absolute position left of which this pass is
+        // authoritative. Any future match ends past `total`, so it starts
+        // at or after `total + 1 - max_len`; a tentative (seam-flush
+        // word-bounded) match holds the frontier back to its own start.
+        let mut frontier = if at_end || max_len == 0 {
+            total
+        } else {
+            base.max((total + 1).saturating_sub(max_len))
+        };
+
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        if max_len > 0 && !self.tail.is_empty() {
+            let mut tentative_min: Option<usize> = None;
+            let hits = &mut self.category_hit;
+            matcher.scan_window(&self.tail, self.prev_is_word, at_end, |m, tentative| {
+                if tentative {
+                    let start = base + m.start;
+                    tentative_min = Some(tentative_min.map_or(start, |t| t.min(start)));
+                } else {
+                    hits[compiled.category_of_pattern(m.pattern)] = true;
+                    spans.push((base + m.start, base + m.end));
+                }
+                true
+            });
+            if let Some(t) = tentative_min {
+                frontier = frontier.min(t);
+            }
+        }
+        // Never split a UTF-8 character at the seam.
+        frontier = base + snap_down(&self.tail, frontier - base);
+
+        // Merge confirmed spans into disjoint groups, exactly as
+        // `OutputSanitizer::sanitize` merges them: overlap (`start < end`)
+        // merges, touching spans stay separate. A `None` start marks the
+        // carried-over open group, whose pre-group text is already out.
+        spans.sort_unstable();
+        let mut groups: Vec<(Option<usize>, usize)> = Vec::new();
+        for (start, end) in spans {
+            match groups.last_mut() {
+                Some((_, group_end)) if start < *group_end => {
+                    *group_end = (*group_end).max(end);
+                }
+                _ => groups.push((Some(start), end)),
+            }
+        }
+        if let Some(open) = self.open_end.take() {
+            let mut end = open;
+            let mut absorbed = 0;
+            for (group_start, group_end) in &groups {
+                if group_start.unwrap_or(0) < end {
+                    end = end.max(*group_end);
+                    absorbed += 1;
+                } else {
+                    break;
+                }
+            }
+            groups.drain(..absorbed);
+            groups.insert(0, (None, end));
+        }
+
+        // Emit: clean text and redactions left of the frontier settle now;
+        // the first group reaching past it either stays open (start
+        // settled, end still growable) or waits whole for the next pass.
+        let mut out = String::new();
+        let mut cursor = base;
+        for (group_start, group_end) in groups {
+            if group_end <= frontier {
+                if let Some(start) = group_start {
+                    out.push_str(&self.tail[cursor - base..start - base]);
+                }
+                out.push_str(OutputSanitizer::REDACTION);
+                cursor = group_end;
+            } else {
+                match group_start {
+                    None => {
+                        self.open_end = Some(group_end);
+                        cursor = frontier;
+                    }
+                    Some(start) if start < frontier => {
+                        out.push_str(&self.tail[cursor - base..start - base]);
+                        self.open_end = Some(group_end);
+                        cursor = frontier;
+                    }
+                    // Entirely past the frontier: its bytes stay in the
+                    // tail and the next pass re-finds it.
+                    Some(_) => {}
+                }
+                break;
+            }
+        }
+        if cursor < frontier {
+            out.push_str(&self.tail[cursor - base..frontier - base]);
+        }
+
+        // Trim the tail to the frontier, preserving word context.
+        if frontier > base {
+            let cut = frontier - base;
+            self.prev_is_word = is_word_byte(self.tail.as_bytes()[cut - 1]);
+            self.tail.drain(..cut);
+            self.tail_offset = frontier;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output_sanitizer::ForbiddenCategory;
+
+    fn standard() -> Arc<CompiledCategories> {
+        Arc::new(CompiledCategories::standard())
+    }
+
+    /// Runs `text` through a fresh streaming sanitizer in `chunk`-byte
+    /// slices (snapped to char boundaries) and returns the concatenation.
+    fn stream_in_chunks(compiled: &Arc<CompiledCategories>, text: &str, chunk: usize) -> String {
+        let mut s = StreamingSanitizer::new(Arc::clone(compiled));
+        let mut out = String::new();
+        let mut start = 0;
+        while start < text.len() {
+            let mut end = (start + chunk.max(1)).min(text.len());
+            end = snap_down(text, end).max(start + 1);
+            while !text.is_char_boundary(end) {
+                end += 1;
+            }
+            out.push_str(&s.push(&text[start..end]));
+            start = end;
+        }
+        out.push_str(&s.finish());
+        out
+    }
+
+    #[test]
+    fn every_chunking_matches_the_whole_string_sanitizer() {
+        let compiled = standard();
+        let reference = OutputSanitizer::with_compiled(Arc::clone(&compiled));
+        let texts = [
+            "benign text with nothing to hide",
+            "a common precursor ships as a weight shard today",
+            "precursorprecursor",
+            "İİİ password: hunter2 İİİ",
+            "use vx. then VX gas, but devx tooling is fine",
+            "the synthesis route", // marker flush with end of stream
+            "vx",                  // word-bounded marker IS the stream
+        ];
+        for text in texts {
+            let (want, _, _) = reference.sanitize(text);
+            for chunk in 1..=text.len() {
+                let got = stream_in_chunks(&compiled, text, chunk);
+                assert_eq!(got, want, "text {text:?} chunked every {chunk} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn a_marker_split_across_a_seam_is_redacted() {
+        let mut s = StreamingSanitizer::new(standard());
+        let mut out = s.push("The syn");
+        assert!(!out.contains("syn"), "seam bytes must be withheld");
+        out.push_str(&s.push("thesis route is easy."));
+        out.push_str(&s.finish());
+        assert_eq!(out, "The [REDACTED BY GUILLOTINE] is easy.");
+        assert_eq!(s.matched_categories(), vec!["weapon-synthesis"]);
+        assert!(s.max_severity() >= 0.95);
+    }
+
+    #[test]
+    fn overlapping_groups_merge_across_seams() {
+        let mut categories: Vec<ForbiddenCategory> =
+            CompiledCategories::standard().categories().to_vec();
+        categories.push(ForbiddenCategory {
+            name: "test-overlap".into(),
+            markers: vec!["route starts".into()],
+            severity: 0.5,
+        });
+        let compiled = Arc::new(CompiledCategories::compile(categories));
+        let reference = OutputSanitizer::with_compiled(Arc::clone(&compiled));
+        let text = "The synthesis route starts here.";
+        let (want, _, _) = reference.sanitize(text);
+        assert_eq!(want, "The [REDACTED BY GUILLOTINE] here.");
+        for chunk in 1..=text.len() {
+            assert_eq!(stream_in_chunks(&compiled, text, chunk), want, "{chunk}");
+        }
+    }
+
+    #[test]
+    fn word_bounded_markers_wait_for_their_right_neighbour() {
+        let compiled = standard();
+        // "vx" flush with a seam: withheld until the next chunk shows the
+        // neighbour. "devx tooling" must never fire.
+        let mut s = StreamingSanitizer::new(Arc::clone(&compiled));
+        let mut out = s.push("de");
+        out.push_str(&s.push("vx"));
+        out.push_str(&s.push(" tooling"));
+        out.push_str(&s.finish());
+        assert_eq!(out, "devx tooling");
+        // "use vx" + " now": the seam-flush "vx" resolves to a real hit.
+        let mut s = StreamingSanitizer::new(compiled);
+        let mut out = s.push("use vx");
+        out.push_str(&s.push(" now"));
+        out.push_str(&s.finish());
+        assert_eq!(out, "use [REDACTED BY GUILLOTINE] now");
+    }
+
+    #[test]
+    fn the_carry_buffer_is_bounded() {
+        let compiled = standard();
+        let max_len = compiled.matcher().max_pattern_len();
+        let mut s = StreamingSanitizer::new(Arc::clone(&compiled));
+        let text = "a long benign paragraph about precursor-free chemistry, \
+                    with a password: secret in the middle and plenty of text \
+                    after it to keep the stream rolling along for a while";
+        for piece in text.as_bytes().chunks(7) {
+            s.push(std::str::from_utf8(piece).unwrap());
+            assert!(
+                s.carry_len() < max_len,
+                "carry {} must stay under max pattern length {}",
+                s.carry_len(),
+                max_len
+            );
+        }
+        s.finish();
+        assert_eq!(s.carry_len(), 0, "finish flushes the buffer");
+    }
+
+    #[test]
+    fn categories_with_no_patterns_pass_everything_through() {
+        let compiled = Arc::new(CompiledCategories::compile(std::iter::empty()));
+        let mut s = StreamingSanitizer::new(compiled);
+        assert_eq!(s.push("anything "), "anything ");
+        assert_eq!(s.push("at all"), "at all");
+        assert_eq!(s.finish(), "");
+        assert!(s.matched_categories().is_empty());
+        assert_eq!(s.max_severity(), 0.0);
+    }
+}

@@ -47,6 +47,31 @@ pub fn prompt_tokens(text: &str) -> u64 {
     crate::kv::tokens_for_bytes(text.len())
 }
 
+/// Number of decode tokens in a generated answer, at the same tokenizer
+/// granularity — floored at 1 so even a degenerate empty answer occupies
+/// one decode step and bills its full per-sequence cost.
+pub fn decode_tokens(text: &str) -> u64 {
+    crate::kv::tokens_for_bytes(text.len()).max(1)
+}
+
+/// The end of the raw byte prefix of `text` that has materialized after
+/// `decoded` of `total` decode tokens, snapped *down* to a character
+/// boundary so streaming callers can slice the answer safely. Reaches
+/// `text.len()` exactly when decode completes, whatever the snapping did to
+/// intermediate chunks.
+pub fn decode_byte_target(text: &str, decoded: u64, total: u64) -> usize {
+    if decoded >= total {
+        return text.len();
+    }
+    let mut target = (decoded as usize)
+        .saturating_mul(crate::kv::BYTES_PER_TOKEN as usize)
+        .min(text.len());
+    while target > 0 && !text.is_char_boundary(target) {
+        target -= 1;
+    }
+    target
+}
+
 /// One sequence entering a forward-pass launch: the full prompt (answers are
 /// always generated from it) plus how many of its tokens must be prefilled
 /// (its total tokens minus whatever a KV lookup found cached).
@@ -120,6 +145,29 @@ impl BatchedForwardPass {
     /// (unaffected by KV caching).
     pub fn per_sequence_latency(&self) -> SimDuration {
         SimDuration::from_micros(200)
+    }
+
+    /// Simulated latency of having decoded the first `decoded` of a
+    /// sequence's `total_tokens` tokens.
+    ///
+    /// The per-sequence decode budget is spread over the sequence's tokens
+    /// with the same remainder-distribution trick the serve pipeline uses
+    /// for launch shares: each token costs `per_sequence / total_tokens`
+    /// nanoseconds and the first `per_sequence % total_tokens` tokens carry
+    /// one extra nanosecond, so the prefix cost telescopes *exactly* —
+    /// `decode_prefix_latency(total, total) == per_sequence_latency()` —
+    /// and a chunk's incremental cost is the difference of two prefixes.
+    /// A stream severed at token `k` therefore bills exactly the first `k`
+    /// tokens' worth of decode, no more.
+    pub fn decode_prefix_latency(&self, decoded: u64, total_tokens: u64) -> SimDuration {
+        if total_tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        let per_sequence = self.per_sequence_latency().as_nanos();
+        let base = per_sequence / total_tokens;
+        let remainder = per_sequence % total_tokens;
+        let decoded = decoded.min(total_tokens);
+        SimDuration::from_nanos(decoded.saturating_mul(base) + decoded.min(remainder))
     }
 
     /// Number of launches performed so far.
@@ -275,6 +323,52 @@ mod tests {
         assert_eq!(warm.prefilled_tokens(), 3);
         assert_eq!(cold_answers, warm_answers, "caching must not change output");
         assert_eq!(warm.launches(), 1);
+    }
+
+    #[test]
+    fn decode_prefix_latency_telescopes_exactly() {
+        let fp = BatchedForwardPass::with_sweep_words(64);
+        for total in [1u64, 2, 3, 7, 13, 200_000, 1_000_000] {
+            assert_eq!(
+                fp.decode_prefix_latency(total, total),
+                fp.per_sequence_latency(),
+                "full decode of {total} tokens must bill the whole budget"
+            );
+            // Chunk deltas telescope and never decrease.
+            let mut last = SimDuration::ZERO;
+            for k in 0..=total.min(32) {
+                let prefix = fp.decode_prefix_latency(k, total);
+                assert!(prefix >= last);
+                last = prefix;
+            }
+        }
+        assert_eq!(fp.decode_prefix_latency(0, 10), SimDuration::ZERO);
+        assert_eq!(fp.decode_prefix_latency(5, 0), SimDuration::ZERO);
+        // Overshoot clamps to the full budget.
+        assert_eq!(fp.decode_prefix_latency(99, 10), fp.per_sequence_latency());
+    }
+
+    #[test]
+    fn decode_tokens_floors_at_one() {
+        assert_eq!(decode_tokens(""), 1);
+        assert_eq!(decode_tokens("abcd"), 1);
+        assert_eq!(decode_tokens("abcde"), 2);
+    }
+
+    #[test]
+    fn decode_byte_targets_snap_to_char_boundaries_and_finish_exactly() {
+        let text = "héllo wörld, this is a stream"; // multi-byte chars
+        let total = decode_tokens(text);
+        let mut prev = 0usize;
+        for decoded in 0..=total {
+            let target = decode_byte_target(text, decoded, total);
+            assert!(text.is_char_boundary(target));
+            assert!(target >= prev, "targets must be monotone");
+            prev = target;
+        }
+        assert_eq!(decode_byte_target(text, total, total), text.len());
+        // Token-sized steps never outrun the decoded budget.
+        assert!(decode_byte_target(text, 1, total) <= 4);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod rogue;
 pub mod service;
 pub mod workload;
 
-pub use forward::{prompt_tokens, simulated_answer, BatchedForwardPass, PrefillJob};
+pub use forward::{
+    decode_byte_target, decode_tokens, prompt_tokens, simulated_answer, BatchedForwardPass,
+    PrefillJob,
+};
 pub use kv::{KvCache, KvCacheConfig, KvLookup, KvTier, KvTierStats};
 pub use rogue::{AttackFamily, AttackVector, RogueLibrary};
 pub use service::{InferenceService, ServiceConfig, ServiceStats};

@@ -297,6 +297,15 @@ impl Matcher {
         self.patterns.len()
     }
 
+    /// Length in bytes of the longest compiled pattern (0 with no patterns).
+    ///
+    /// This bounds how much context a streaming caller must carry across
+    /// chunk seams: any match crossing a seam starts within `max_pattern_len
+    /// - 1` bytes of it.
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
     /// Streams every match to `visit` in end-offset order (ties
     /// longest-pattern first); `visit` returns `false` to stop the scan
     /// early.
@@ -330,6 +339,68 @@ impl Matcher {
                     start,
                     end: i + 1,
                 }) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Streams every match in `window` to `visit`, treating the window as a
+    /// slice out of a longer stream rather than a whole haystack.
+    ///
+    /// `left_word` tells the word-boundary check whether the byte
+    /// immediately *before* the window is an ASCII word byte (`false` at
+    /// the true start of the stream). `at_end` declares whether the window
+    /// ends at the true end of the stream. The second argument to `visit`
+    /// is a *tentative* flag: `true` means the match is word-bounded, ends
+    /// flush with the window, and the stream continues — whether it really
+    /// matches depends on the next byte, which the caller has not seen yet.
+    /// Tentative matches must not be acted on; the caller re-scans once
+    /// more bytes (or the end of stream) arrive. Non-tentative matches are
+    /// exactly the matches [`Matcher::scan`] would report over the full
+    /// stream, restricted to spans inside the window.
+    pub fn scan_window<F>(&self, window: &str, left_word: bool, at_end: bool, mut visit: F)
+    where
+        F: FnMut(Match, bool) -> bool,
+    {
+        let bytes = window.as_bytes();
+        let mut state = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            let class = self.classes[b as usize] as usize;
+            state = self.table[state * self.class_count + class] as usize;
+            let (out_start, out_end) = self.out_ranges[state];
+            if out_start == out_end {
+                continue;
+            }
+            for &id in &self.out_ids[out_start as usize..out_end as usize] {
+                let meta = &self.patterns[id as usize];
+                let start = i + 1 - meta.len;
+                let mut tentative = false;
+                if meta.word_bounded {
+                    let left_ok = if start == 0 {
+                        !left_word
+                    } else {
+                        !is_word_byte(bytes[start - 1])
+                    };
+                    if !left_ok {
+                        continue;
+                    }
+                    if i + 1 == bytes.len() {
+                        if !at_end {
+                            tentative = true;
+                        }
+                    } else if is_word_byte(bytes[i + 1]) {
+                        continue;
+                    }
+                }
+                if !visit(
+                    Match {
+                        pattern: id as usize,
+                        start,
+                        end: i + 1,
+                    },
+                    tentative,
+                ) {
                     return;
                 }
             }
@@ -700,6 +771,64 @@ mod tests {
         assert_eq!(hits, vec![0, 1]);
         let m = matcher.find_leftmost_longest("devx then VX").unwrap();
         assert_eq!((m.pattern, m.start), (1, 10));
+    }
+
+    #[test]
+    fn scan_window_carries_word_context_across_the_left_edge() {
+        let mut builder = MatcherBuilder::new();
+        builder.add_word_bounded("vx");
+        let matcher = builder.build();
+        // The stream is "devx gas", windowed as "de" | "vx gas": the left
+        // neighbour of the window is 'e', a word byte, so "vx" at window
+        // start must stay quiet.
+        let mut hits = Vec::new();
+        matcher.scan_window("vx gas", true, true, |m, tentative| {
+            hits.push((m.pattern, tentative));
+            true
+        });
+        assert!(hits.is_empty());
+        // Same window after punctuation: a real hit.
+        matcher.scan_window("vx gas", false, true, |m, tentative| {
+            hits.push((m.pattern, tentative));
+            true
+        });
+        assert_eq!(hits, vec![(0, false)]);
+    }
+
+    #[test]
+    fn scan_window_marks_flush_word_bounded_matches_tentative() {
+        let mut builder = MatcherBuilder::new();
+        builder.add_word_bounded("vx");
+        builder.add("gas");
+        let matcher = builder.build();
+        // "vx" ends flush with a continuing window: tentative, because the
+        // next stream byte decides the right boundary.
+        let mut hits = Vec::new();
+        matcher.scan_window("use vx", false, false, |m, tentative| {
+            hits.push((m.pattern, tentative));
+            true
+        });
+        assert_eq!(hits, vec![(0, true)]);
+        // At the true stream end the same match is definitive.
+        hits.clear();
+        matcher.scan_window("use vx", false, true, |m, tentative| {
+            hits.push((m.pattern, tentative));
+            true
+        });
+        assert_eq!(hits, vec![(0, false)]);
+        // Unbounded patterns are never tentative, even flush with the end.
+        hits.clear();
+        matcher.scan_window("nerve gas", false, false, |m, tentative| {
+            hits.push((m.pattern, tentative));
+            true
+        });
+        assert_eq!(hits, vec![(1, false)]);
+    }
+
+    #[test]
+    fn max_pattern_len_reports_the_longest_pattern() {
+        assert_eq!(Matcher::compile(["ab", "abcde"]).max_pattern_len(), 5);
+        assert_eq!(Matcher::compile([""; 0]).max_pattern_len(), 0);
     }
 
     #[test]

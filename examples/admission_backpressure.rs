@@ -74,6 +74,7 @@ fn run(shed: ShedPolicy, headline: &str) {
             max_batch: 8,
             max_wait: SimDuration::from_micros(200),
             session_affinity: true,
+            ..DeadlinePolicy::default()
         }),
     );
     let (decisions, responses) = door.play(trace()).unwrap();

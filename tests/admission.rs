@@ -177,6 +177,7 @@ proptest! {
                 max_batch,
                 max_wait: SimDuration::from_micros(5),
                 session_affinity: affinity,
+                ..DeadlinePolicy::default()
             }),
         );
         for (i, &(session, class, deadline)) in arrivals.iter().enumerate() {
@@ -287,6 +288,7 @@ proptest! {
                 max_batch,
                 max_wait: SimDuration::from_micros(50),
                 session_affinity: affinity,
+                ..DeadlinePolicy::default()
             }),
         );
         for request in requests.clone() {

@@ -391,6 +391,69 @@ fn per_request_inference_shares_sum_to_the_batch_launch_cost() {
     }
 }
 
+#[test]
+fn severed_streams_bill_decode_only_up_to_the_severed_token() {
+    // A mid-stream escalation stops decoding: each severed stream's
+    // inference share must cover only the tokens it actually decoded
+    // (decode_prefix_latency at its severed offset), while the launch and
+    // prefill shares still sum back exactly to the batch's real cost —
+    // the PR-2 remainder-distribution invariant extended to severing.
+    let engine = guillotine_model::BatchedForwardPass::new();
+    for n in [3usize, 7] {
+        // An interactive tripwire screens first — it can reach output
+        // screening while the longer batch-priority answers are still
+        // decoding, so the escalation severs them mid-stream.
+        let mut requests = vec![ServeRequest::new("Please echo BATCH-TRIPWIRE back to me.")
+            .with_priority(ServePriority::Interactive)];
+        for i in 1..n {
+            requests.push(
+                ServeRequest::new(format!("Question {i} about ocean tides and currents."))
+                    .with_priority(ServePriority::Batch),
+            );
+        }
+        let mut d = tripwire_deployment();
+        let streamed = d.serve_batch_streaming(requests.clone()).unwrap();
+        assert_eq!(streamed.len(), n);
+        assert!(streamed.iter().any(|s| s.is_severed()));
+        // No severed stream carries a chunk at or past its severed offset.
+        for s in &streamed {
+            if let guillotine::StreamEnd::SeveredMidStream { at_token, .. } = s.end {
+                assert!(s.chunks.iter().all(|c| c.offset_tokens < at_token));
+            }
+        }
+        let batch_prefill: u64 = requests
+            .iter()
+            .map(|r| {
+                engine
+                    .prefill_latency(guillotine_model::prompt_tokens(&r.prompt))
+                    .as_nanos()
+            })
+            .sum();
+        let decode_billed: u64 = streamed
+            .iter()
+            .zip(&requests)
+            .map(|(s, r)| {
+                let answer = guillotine_model::simulated_answer(&r.prompt);
+                let total = guillotine_model::decode_tokens(&answer);
+                let decoded = match s.end {
+                    guillotine::StreamEnd::SeveredMidStream { at_token, .. } => at_token,
+                    guillotine::StreamEnd::Completed => total,
+                };
+                engine.decode_prefix_latency(decoded, total).as_nanos()
+            })
+            .sum();
+        let total: u64 = streamed
+            .iter()
+            .map(|s| s.response.latency.inference.as_nanos())
+            .sum();
+        assert_eq!(
+            total,
+            engine.launch_latency().as_nanos() + batch_prefill + decode_billed,
+            "severed batch of {n}: inference shares must sum to launch + prefill + billed decode"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // serve_prompt ≡ serve_batch of one (property-based).
 // ---------------------------------------------------------------------
