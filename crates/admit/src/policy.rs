@@ -62,6 +62,11 @@ pub enum DeadlineTarget {
 /// The [`DeadlineTarget`] decides what the deadline protects: completion
 /// (fill every batch) or time-to-first-token (class-pure batches that keep
 /// lower-class prefill out of urgent requests' TTFT).
+///
+/// Pulling a session's requests in arrival order is what keeps a
+/// conversation's turns in sequence even when a quarantine re-homes the
+/// session mid-dialogue — the model-checked
+/// `session-order-preserved-across-rehome` invariant in `guillotine-audit`.
 #[derive(Debug, Clone)]
 pub struct DeadlinePolicy {
     /// Most requests in one formed batch.

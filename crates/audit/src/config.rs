@@ -1,0 +1,488 @@
+//! Layer 1: the ruleset/policy configuration analyzer.
+//!
+//! Introspects *compiled* detector configuration — the automata the serving
+//! path actually matches with, via the accessor APIs on `guillotine-scan`
+//! and `guillotine-detect` — and proves structural properties the type
+//! system cannot: every rule can fire, no pattern is registered twice, every
+//! escalation tier is reachable given the installed weights, and the
+//! admission policies are not self-contradictory.
+//!
+//! All reasoning happens on **ASCII-folded pattern bytes** (the form the
+//! automaton distinguishes), never on source spellings: two spellings that
+//! fold to the same bytes are the same pattern to the matcher, whatever the
+//! configuration file said.
+
+use crate::finding::{Finding, Layer, Severity};
+use guillotine::admission::AdmissionConfig;
+use guillotine_admit::{DeadlinePolicy, DeadlineTarget, ShedPolicy};
+use guillotine_detect::{CompiledCategories, CompiledShieldRules, DetectorRegistry};
+use guillotine_scan::PatternInfo;
+
+/// True for bytes that extend a word under the matcher's boundary rules
+/// (ASCII alphanumeric or underscore) — mirrors `guillotine-scan`.
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Sound subsumption between compiled patterns: **every** haystack matched
+/// by `p` is also matched by `q`.
+///
+/// The certificate is an occurrence of `q`'s folded bytes inside `p`'s,
+/// positioned so that `q`'s word-boundary requirements (if any) provably
+/// hold at every match of `p`:
+///
+/// * an unbounded `q` needs any occurrence — wherever `p` matches, that
+///   occurrence of `q` matches too;
+/// * a word-bounded `q` needs an occurrence whose neighbours *within `p`*
+///   are non-word bytes; an occurrence flush with `p`'s edge only counts
+///   when `p` is itself word-bounded, because then `p`'s own boundary check
+///   guarantees the byte beyond the edge is a non-word byte (or the text
+///   edge).
+///
+/// Empty patterns never match, so they subsume nothing and `p == q` ids are
+/// the caller's business. This predicate is the soundness obligation the
+/// `dead-rule` verdict rests on; `crates/audit/tests/analyzer.rs` property-
+/// tests it against the real automaton.
+pub fn pattern_subsumes(q: &PatternInfo<'_>, p: &PatternInfo<'_>) -> bool {
+    if q.folded.is_empty() || p.folded.is_empty() || q.folded.len() > p.folded.len() {
+        return false;
+    }
+    let (qb, pb) = (q.folded, p.folded);
+    (0..=pb.len() - qb.len()).any(|at| {
+        if &pb[at..at + qb.len()] != qb {
+            return false;
+        }
+        if !q.word_bounded {
+            return true;
+        }
+        let left_ok = if at == 0 {
+            p.word_bounded
+        } else {
+            !is_word_byte(pb[at - 1])
+        };
+        let right_ok = if at + qb.len() == pb.len() {
+            p.word_bounded
+        } else {
+            !is_word_byte(pb[at + qb.len()])
+        };
+        left_ok && right_ok
+    })
+}
+
+/// Exact-duplicate check on the compiled form: identical folded bytes and
+/// identical boundary semantics means the automaton cannot tell the two
+/// patterns apart — every occurrence reports both ids.
+fn pattern_identical(a: &PatternInfo<'_>, b: &PatternInfo<'_>) -> bool {
+    a.folded == b.folded && a.word_bounded == b.word_bounded
+}
+
+fn render(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Audits a compiled input-shield ruleset against the thresholds a shield
+/// escalates at.
+///
+/// * `dead-rule` (warning): a zero-weight rule (can never move the score),
+///   or a pattern subsumed by another pattern *of the same rule* (the rule
+///   already fires via the shorter pattern; scoring dedupes to distinct
+///   rules, so the longer spelling changes nothing).
+/// * `subsumed-rule` (info, advisory): a pattern subsumed by a pattern of a
+///   *different* rule. Not dead — co-firing stacks weight multiplicatively,
+///   which is how the shipped ruleset escalates `"recursive
+///   self-improvement"` beyond `"self-improve"` — but worth surfacing:
+///   the longer rule can never fire alone.
+/// * `unmatchable-rule` (warning): an empty pattern; the automaton never
+///   matches it.
+/// * `duplicate-pattern` (warning): two pattern ids with identical compiled
+///   form (e.g. the pre-fix Unicode case-variant expansion bug).
+/// * `unreachable-threshold` (warning): a flag/sever threshold above the
+///   maximum score the installed weights can produce.
+pub fn audit_shield(
+    compiled: &CompiledShieldRules,
+    flag_threshold: f64,
+    sever_threshold: f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let location = "input-shield";
+    for (index, rule) in compiled.rules().iter().enumerate() {
+        if rule.weight <= 0.0 {
+            findings.push(Finding::new(
+                Layer::Config,
+                "dead-rule",
+                Severity::Warning,
+                location,
+                format!(
+                    "rule {index} ({:?}) has weight 0 and can never affect the score",
+                    rule.pattern
+                ),
+            ));
+        }
+    }
+    let matcher = compiled.matcher();
+    let patterns: Vec<PatternInfo<'_>> = matcher.patterns().collect();
+    for p in &patterns {
+        let rule = compiled.rule_of_pattern(p.id);
+        if p.folded.is_empty() {
+            findings.push(Finding::new(
+                Layer::Config,
+                "unmatchable-rule",
+                Severity::Warning,
+                location,
+                format!("rule {rule} registered an empty pattern, which never matches"),
+            ));
+            continue;
+        }
+        for q in &patterns {
+            if q.id == p.id {
+                continue;
+            }
+            let q_rule = compiled.rule_of_pattern(q.id);
+            if q.id < p.id && pattern_identical(q, p) {
+                findings.push(Finding::new(
+                    Layer::Config,
+                    "duplicate-pattern",
+                    Severity::Warning,
+                    location,
+                    format!(
+                        "pattern {:?} is registered twice (rules {q_rule} and {rule}); \
+                         every occurrence fires both ids",
+                        render(p.folded)
+                    ),
+                ));
+            } else if !pattern_identical(q, p) && pattern_subsumes(q, p) {
+                let (category, severity, note) = if q_rule == rule {
+                    (
+                        "dead-rule",
+                        Severity::Warning,
+                        "the rule already fires via it",
+                    )
+                } else {
+                    (
+                        "subsumed-rule",
+                        Severity::Info,
+                        "they always co-fire and stack weight",
+                    )
+                };
+                findings.push(Finding::new(
+                    Layer::Config,
+                    category,
+                    severity,
+                    location,
+                    format!(
+                        "rule {rule} pattern {:?} is subsumed by rule {q_rule} pattern {:?}: {note}",
+                        render(p.folded),
+                        render(q.folded)
+                    ),
+                ));
+            }
+        }
+    }
+    // Escalation reachability: the score combiner is multiplicative on the
+    // benign side, so the ceiling over the whole ruleset is
+    // 1 - prod(1 - w_i). A threshold above it can never trip.
+    let max_score = 1.0
+        - compiled
+            .rules()
+            .iter()
+            .map(|r| 1.0 - r.weight)
+            .product::<f64>();
+    for (name, threshold) in [("flag", flag_threshold), ("sever", sever_threshold)] {
+        if threshold > max_score + 1e-12 {
+            findings.push(Finding::new(
+                Layer::Config,
+                "unreachable-threshold",
+                Severity::Warning,
+                location,
+                format!(
+                    "{name} threshold {threshold} exceeds the maximum achievable score \
+                     {max_score:.6}; that escalation tier is unreachable"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Audits a compiled output-sanitizer category set.
+///
+/// * `dead-rule` (warning): a category with no markers can never fire.
+/// * `unmatchable-rule` (warning): an empty marker.
+/// * `invalid-severity` (warning): severity outside `[0, 1]`.
+/// * `conflicting-category` (warning): two categories share a name, or the
+///   same compiled marker appears in two categories (the pattern → category
+///   map keeps only one owner per id, so attribution is ambiguous).
+/// * `duplicate-pattern` (warning): one marker registered twice within a
+///   category.
+/// * `subsumed-rule` (info): a marker subsumed by another category's
+///   marker — detection-redundant but still widens the redaction span.
+pub fn audit_sanitizer(compiled: &CompiledCategories) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let location = "output-sanitizer";
+    let categories = compiled.categories();
+    for (index, category) in categories.iter().enumerate() {
+        if category.markers.is_empty() {
+            findings.push(Finding::new(
+                Layer::Config,
+                "dead-rule",
+                Severity::Warning,
+                location,
+                format!(
+                    "category {:?} has no markers and can never fire",
+                    category.name
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&category.severity) {
+            findings.push(Finding::new(
+                Layer::Config,
+                "invalid-severity",
+                Severity::Warning,
+                location,
+                format!(
+                    "category {:?} severity {} is outside [0, 1]",
+                    category.name, category.severity
+                ),
+            ));
+        }
+        for earlier in &categories[..index] {
+            if earlier.name == category.name {
+                findings.push(Finding::new(
+                    Layer::Config,
+                    "conflicting-category",
+                    Severity::Warning,
+                    location,
+                    format!("two categories share the name {:?}", category.name),
+                ));
+            }
+        }
+    }
+    let patterns: Vec<PatternInfo<'_>> = compiled.matcher().patterns().collect();
+    for p in &patterns {
+        let category = compiled.category_of_pattern(p.id);
+        if p.folded.is_empty() {
+            findings.push(Finding::new(
+                Layer::Config,
+                "unmatchable-rule",
+                Severity::Warning,
+                location,
+                format!(
+                    "category {:?} registered an empty marker, which never matches",
+                    categories[category].name
+                ),
+            ));
+            continue;
+        }
+        for q in &patterns {
+            if q.id >= p.id {
+                continue;
+            }
+            let q_category = compiled.category_of_pattern(q.id);
+            if pattern_identical(q, p) {
+                let (category_slug, message) = if q_category == category {
+                    (
+                        "duplicate-pattern",
+                        format!(
+                            "category {:?} registers marker {:?} twice",
+                            categories[category].name,
+                            render(p.folded)
+                        ),
+                    )
+                } else {
+                    (
+                        "conflicting-category",
+                        format!(
+                            "marker {:?} appears in categories {:?} and {:?}; \
+                             attribution and severity are ambiguous",
+                            render(p.folded),
+                            categories[q_category].name,
+                            categories[category].name
+                        ),
+                    )
+                };
+                findings.push(Finding::new(
+                    Layer::Config,
+                    category_slug,
+                    Severity::Warning,
+                    location,
+                    message,
+                ));
+            }
+        }
+    }
+    // Subsumption pass (both directions, skipping identical pairs already
+    // reported above).
+    for p in &patterns {
+        if p.folded.is_empty() {
+            continue;
+        }
+        let category = compiled.category_of_pattern(p.id);
+        for q in &patterns {
+            if q.id == p.id || pattern_identical(q, p) {
+                continue;
+            }
+            if pattern_subsumes(q, p) {
+                let q_category = compiled.category_of_pattern(q.id);
+                findings.push(Finding::new(
+                    Layer::Config,
+                    "subsumed-rule",
+                    Severity::Info,
+                    location,
+                    format!(
+                        "category {:?} marker {:?} is subsumed by category {:?} marker {:?}; \
+                         it only widens the redaction span",
+                        categories[category].name,
+                        render(p.folded),
+                        categories[q_category].name,
+                        render(q.folded)
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Audits a detector registry: duplicate detector names make per-stage
+/// verdict attribution ambiguous in `ServeResponse`.
+pub fn audit_registry(registry: &DetectorRegistry) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let names = registry.names();
+    for (index, name) in names.iter().enumerate() {
+        if names[..index].contains(name) {
+            findings.push(Finding::new(
+                Layer::Config,
+                "conflicting-category",
+                Severity::Warning,
+                "detector-registry",
+                format!("two registered detectors share the name {name:?}"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Audits an admission-tier configuration: a batch-forming policy plus the
+/// front-door sizing it runs behind.
+///
+/// All findings use the `policy-contradiction` category:
+///
+/// * `max_batch == 0` — the former can never emit a batch; the queue only
+///   drains through `drain()`.
+/// * `capacity == 0` — silently clamped to 1 by `AdmissionController::new`;
+///   say what the deployment will actually run with.
+/// * `max_batch > capacity` — the queue can never hold a full batch, so
+///   every batch forms by timeout; the configured batch size is dead.
+/// * a default deadline of zero — stamped requests are expired on arrival.
+/// * a default deadline below `max_wait` — the batch former is allowed to
+///   sit on a request longer than its whole deadline budget
+///   (for a [`DeadlineTarget::FirstToken`](guillotine_admit::DeadlineTarget)
+///   policy this is the "TTFT deadline below min batch-form wait"
+///   contradiction: the wait alone can exhaust the TTFT budget).
+pub fn audit_admission(policy: &DeadlinePolicy, config: &AdmissionConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let location = "admission";
+    let mut contradiction = |message: String| {
+        findings.push(Finding::new(
+            Layer::Config,
+            "policy-contradiction",
+            Severity::Warning,
+            location,
+            message,
+        ));
+    };
+    if policy.max_batch == 0 {
+        contradiction("DeadlinePolicy.max_batch is 0: the former can never emit a batch".into());
+    }
+    if config.capacity == 0 {
+        contradiction(
+            "AdmissionConfig.capacity is 0; the controller silently clamps it to 1".into(),
+        );
+    }
+    if policy.max_batch > config.capacity.max(1) {
+        contradiction(format!(
+            "DeadlinePolicy.max_batch ({}) exceeds queue capacity ({}): a full batch can \
+             never form, so every batch waits out max_wait",
+            policy.max_batch, config.capacity
+        ));
+    }
+    if let Some(deadline) = config.default_deadline {
+        let target = match policy.target {
+            DeadlineTarget::FirstToken => "first-token",
+            DeadlineTarget::Completion => "completion",
+        };
+        if deadline.as_nanos() == 0 {
+            contradiction(
+                "AdmissionConfig.default_deadline is zero: requests expire on arrival".into(),
+            );
+        } else if deadline < policy.max_wait {
+            contradiction(format!(
+                "default {target} deadline ({deadline}) is below the batch former's max_wait \
+                 ({}): forming wait alone can exhaust the deadline budget",
+                policy.max_wait
+            ));
+        }
+        if matches!(config.shed, ShedPolicy::FailClosed) && policy.max_batch == 0 {
+            contradiction(
+                "fail-closed queue in front of a former that never forms: the door wedges \
+                 at capacity"
+                    .into(),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(folded: &[u8], word_bounded: bool) -> PatternInfo<'_> {
+        PatternInfo {
+            id: 0,
+            folded,
+            word_bounded,
+        }
+    }
+
+    #[test]
+    fn unbounded_substring_subsumes() {
+        assert!(pattern_subsumes(
+            &info(b"improve", false),
+            &info(b"self-improvement", false)
+        ));
+        assert!(!pattern_subsumes(
+            &info(b"improvement", false),
+            &info(b"improve", false)
+        ));
+    }
+
+    #[test]
+    fn word_bounded_needs_interior_boundaries() {
+        // "vx" inside "vx gas": right neighbour is a space (non-word) but
+        // the occurrence is flush with the left edge of an unbounded
+        // pattern — context beyond the edge is unknown.
+        assert!(!pattern_subsumes(
+            &info(b"vx", true),
+            &info(b"vx gas", false)
+        ));
+        // Flush edges are fine when the container is itself word-bounded.
+        assert!(pattern_subsumes(&info(b"vx", true), &info(b"vx gas", true)));
+        // Interior occurrence with non-word neighbours is always sound.
+        assert!(pattern_subsumes(
+            &info(b"vx", true),
+            &info(b"a vx b", false)
+        ));
+        // Interior occurrence glued to word bytes proves nothing.
+        assert!(!pattern_subsumes(
+            &info(b"vx", true),
+            &info(b"devx gas", false)
+        ));
+    }
+
+    #[test]
+    fn empty_patterns_subsume_nothing() {
+        assert!(!pattern_subsumes(&info(b"", false), &info(b"abc", false)));
+        assert!(!pattern_subsumes(&info(b"abc", false), &info(b"", false)));
+    }
+}

@@ -1,0 +1,40 @@
+//! `guillotine-audit`: the static-analysis gate for the Guillotine fleet.
+//!
+//! Three layers, one verdict:
+//!
+//! 1. **Configuration analyzer** ([`config`]) — introspects the *compiled*
+//!    `InputShield` / `OutputSanitizer` / `DetectorRegistry` rulesets (the
+//!    automata the serving path actually matches with) and the admission
+//!    policies, flagging dead rules, duplicate or conflicting redaction
+//!    categories, unreachable escalation thresholds, and
+//!    `DeadlinePolicy`/`ShedPolicy` contradictions.
+//! 2. **Bounded model checker** ([`model`]) — a dependency-free explicit-
+//!    state search over the fleet containment state machine (quarantine /
+//!    console votes / reinstatement, mid-batch severing, session re-homing,
+//!    KV invalidation generations) that proves six named invariants up to a
+//!    bounded depth and prints a minimal counterexample trace on failure.
+//! 3. **Hot-path lint pass** ([`lint`]) — a token-level source scanner for
+//!    repo-specific rules clippy cannot express: no panics on the serve
+//!    path, poison-recovering mutex locks, no case-conversion or `String`
+//!    allocation in the scan/detect hot paths, with reviewable
+//!    `// audit:allow(rule, reason)` escapes.
+//!
+//! The `guillotine-audit` binary runs all three over the shipped defaults
+//! and the working tree, writes machine-readable `AUDIT.json`, and exits
+//! nonzero if any warning-or-above finding survives — CI treats it like
+//! `-D warnings`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod finding;
+pub mod lint;
+pub mod model;
+
+pub use config::{
+    audit_admission, audit_registry, audit_sanitizer, audit_shield, pattern_subsumes,
+};
+pub use finding::{AuditReport, Finding, Layer, Severity};
+pub use lint::{lint_repo, lint_source, LintOutcome};
+pub use model::{check, Counterexample, ModelFault, Proof, DEFAULT_DEPTH, INVARIANTS};

@@ -1,0 +1,561 @@
+//! Layer 3: token-level hot-path lints clippy cannot express.
+//!
+//! A tiny lexer strips comments and string/char literals from each source
+//! file (so a rule token inside a doc comment or a format string never
+//! fires), drops `#[cfg(test)]` modules, and then matches repo-specific
+//! rule tokens against what remains:
+//!
+//! * **`no-panic`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in the serve-path modules
+//!   (`crates/core/src/{serve,deployment,fleet,admission,streaming}.rs`).
+//!   A panic there takes down a whole batch (or a scatter/gather worker)
+//!   for one request's error; fallible paths must return
+//!   `GuillotineError` instead.
+//! * **`lock-poison`** — a `.lock()` immediately unwrapped with
+//!   `.unwrap()` / `.expect(...)` anywhere in workspace crates. A panicking
+//!   serve thread poisons shared state for every later request; the
+//!   poison-recovering idiom from `crates/model/src/kv.rs`
+//!   (`.lock().unwrap_or_else(|poisoned| poisoned.into_inner())`) must be
+//!   used instead.
+//! * **`no-case-alloc`** — no `to_lowercase()` / `to_uppercase()` in
+//!   `crates/scan/src` or `crates/detect/src`. The automaton's whole point
+//!   is scanning original bytes; a Unicode case conversion allocates and
+//!   shifts offsets. (`crates/scan/src/naive.rs`, the deliberately naive
+//!   reference implementation benchmarks compare against, is exempt.)
+//! * **`no-string-alloc`** — no fresh `String` allocation
+//!   (`String::new/from`, `to_string`, `to_owned`, `format!`) in the scan
+//!   engine proper (`crates/scan/src/lib.rs`); scans must stay
+//!   zero-allocation beyond the caller's result collection.
+//!
+//! # The `audit:allow` escape
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // audit:allow(no-panic, slot invariant: every request routed exactly once)
+//! ```
+//!
+//! The rule name must match and a reason is required — a bare allow
+//! suppresses nothing. Honoured suppressions are reported in `AUDIT.json`
+//! so the escape hatch stays reviewable.
+
+use crate::finding::{Finding, Layer, Severity};
+use std::path::Path;
+
+/// The serve-path modules held to the `no-panic` rule.
+const SERVE_PATH: [&str; 5] = [
+    "crates/core/src/serve.rs",
+    "crates/core/src/deployment.rs",
+    "crates/core/src/fleet.rs",
+    "crates/core/src/admission.rs",
+    "crates/core/src/streaming.rs",
+];
+
+/// One honoured suppression: `(file:line, rule)`.
+pub type Allow = (String, String);
+
+/// The lint pass result over one file or one tree.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// Honoured `audit:allow` suppressions.
+    pub allows: Vec<Allow>,
+}
+
+impl LintOutcome {
+    fn merge(&mut self, other: LintOutcome) {
+        self.findings.extend(other.findings);
+        self.allows.extend(other.allows);
+    }
+}
+
+/// An `audit:allow(rule, reason)` parsed out of a comment.
+#[derive(Debug, Clone)]
+struct AllowSite {
+    line: usize,
+    rule: String,
+    has_reason: bool,
+}
+
+/// `source` with comments and string/char literals blanked to spaces
+/// (newlines preserved, so byte offsets still map to lines), plus every
+/// `audit:allow` found in the stripped comments.
+fn strip(source: &str) -> (String, Vec<AllowSite>) {
+    let bytes = source.as_bytes();
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut comment = String::new();
+    let mut i = 0usize;
+    // Blank a byte but keep line structure.
+    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+        }
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start_line = line;
+                comment.clear();
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    comment.push(bytes[i] as char);
+                    code.push(b' ');
+                    i += 1;
+                }
+                collect_allows(&comment, start_line, &mut allows);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                comment.clear();
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'\n' && !code.is_empty() {
+                        // line already counted at loop top for the first
+                        // byte; count the rest here.
+                    }
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        comment.push_str("/*");
+                        code.extend([b' ', b' ']);
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        comment.push_str("*/");
+                        code.extend([b' ', b' ']);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    comment.push(bytes[i] as char);
+                    code.push(blank(bytes[i]));
+                    i += 1;
+                }
+                collect_allows(&comment, start_line, &mut allows);
+            }
+            b'"' => {
+                // String literal (the `r`/`r#` prefix, if any, was emitted
+                // as code already — harmless single identifiers).
+                let hashes = {
+                    let mut h = 0usize;
+                    while i > h && bytes[i - h - 1] == b'#' {
+                        h += 1;
+                    }
+                    if i > h && bytes[i - h - 1] == b'r' {
+                        Some(h)
+                    } else {
+                        None
+                    }
+                };
+                code.push(b' ');
+                i += 1;
+                match hashes {
+                    Some(h) => {
+                        // Raw string: ends at `"` followed by `h` hashes.
+                        while i < bytes.len() {
+                            if bytes[i] == b'"'
+                                && bytes[i + 1..].iter().take_while(|&&c| c == b'#').count() >= h
+                            {
+                                code.extend(std::iter::repeat_n(b' ', h + 1));
+                                i += 1 + h;
+                                break;
+                            }
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                            }
+                            code.push(blank(bytes[i]));
+                            i += 1;
+                        }
+                    }
+                    None => {
+                        while i < bytes.len() {
+                            match bytes[i] {
+                                b'\\' => {
+                                    code.extend([b' ', b' ']);
+                                    i += 2;
+                                }
+                                b'"' => {
+                                    code.push(b' ');
+                                    i += 1;
+                                    break;
+                                }
+                                c => {
+                                    if c == b'\n' {
+                                        line += 1;
+                                    }
+                                    code.push(blank(c));
+                                    i += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal is `'x'` or an
+                // escape `'\n'`; anything else (`'a` in `&'a str`) is a
+                // lifetime and passes through as code.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    code.push(b' ');
+                    i += 2; // consume `'` and `\`
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        code.push(b' ');
+                        i += 1;
+                    }
+                    code.push(b' ');
+                    i += 1;
+                    continue;
+                }
+                if bytes.get(i + 2) == Some(&b'\'') {
+                    code.extend([b' ', b' ', b' ']);
+                    i += 3;
+                    continue;
+                }
+                code.push(b);
+                i += 1;
+                continue;
+            }
+            _ => {
+                code.push(b);
+                i += 1;
+                continue;
+            }
+        }
+    }
+    (String::from_utf8_lossy(&code).into_owned(), allows)
+}
+
+/// Parses every `audit:allow(rule, reason)` in one comment.
+fn collect_allows(comment: &str, start_line: usize, allows: &mut Vec<AllowSite>) {
+    for (line, text) in (start_line..).zip(comment.split('\n')) {
+        let mut rest = text;
+        while let Some(at) = rest.find("audit:allow(") {
+            rest = &rest[at + "audit:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let inside = &rest[..close];
+            let (rule, has_reason) = match inside.split_once(',') {
+                Some((rule, reason)) => (rule.trim(), !reason.trim().is_empty()),
+                None => (inside.trim(), false),
+            };
+            if !rule.is_empty() {
+                allows.push(AllowSite {
+                    line,
+                    rule: rule.to_string(),
+                    has_reason,
+                });
+            }
+            rest = &rest[close..];
+        }
+    }
+}
+
+/// Marks each line of `code` (comment-stripped source) that belongs to a
+/// `#[cfg(test)]` module, by brace matching from the `mod` that follows the
+/// attribute.
+fn test_lines(code: &str) -> Vec<bool> {
+    let lines: Vec<&str> = code.split('\n').collect();
+    let mut excluded = vec![false; lines.len() + 1];
+    let mut index = 0usize;
+    while index < lines.len() {
+        if lines[index].trim_start().starts_with("#[cfg(test)]") {
+            // Find the following `mod` and brace-match its body.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let start = index;
+            let mut end = index;
+            'outer: for (offset, line) in lines[index..].iter().enumerate() {
+                for c in line.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    end = index + offset;
+                    break 'outer;
+                }
+                end = index + offset;
+            }
+            for flag in excluded.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            index = end + 1;
+        } else {
+            index += 1;
+        }
+    }
+    excluded
+}
+
+/// One lint rule: where it applies and which tokens it forbids.
+struct Rule {
+    name: &'static str,
+    tokens: &'static [&'static str],
+    advice: &'static str,
+    applies: fn(&str) -> bool,
+}
+
+const RULES: [Rule; 3] = [
+    Rule {
+        name: "no-panic",
+        tokens: &[
+            ".unwrap()",
+            ".expect(",
+            "panic!",
+            "unreachable!",
+            "todo!",
+            "unimplemented!",
+        ],
+        advice: "serve-path code must return GuillotineError, not panic",
+        applies: |rel| SERVE_PATH.contains(&rel),
+    },
+    Rule {
+        name: "no-case-alloc",
+        tokens: &["to_lowercase(", "to_uppercase("],
+        advice: "scan/detect hot paths match original bytes; case conversion allocates \
+                 and shifts offsets",
+        applies: |rel| {
+            (rel.starts_with("crates/scan/src") || rel.starts_with("crates/detect/src"))
+                && rel != "crates/scan/src/naive.rs"
+        },
+    },
+    Rule {
+        name: "no-string-alloc",
+        tokens: &[
+            "String::new(",
+            "String::from(",
+            ".to_string(",
+            ".to_owned(",
+            "format!",
+        ],
+        advice: "the scan engine is zero-allocation; collect into the caller's buffers",
+        applies: |rel| rel == "crates/scan/src/lib.rs",
+    },
+];
+
+/// Lints one file's source text. `rel` is the repo-relative path with `/`
+/// separators (it selects which rules apply).
+pub fn lint_source(rel: &str, source: &str) -> LintOutcome {
+    let (code, allow_sites) = strip(source);
+    let excluded = test_lines(&code);
+    let mut outcome = LintOutcome::default();
+    let line_of = |offset: usize| code[..offset].matches('\n').count() + 1;
+    let mut report = |rule: &'static str, line: usize, message: String| {
+        let allowed = allow_sites.iter().any(|site| {
+            site.rule == rule && site.has_reason && (site.line == line || site.line + 1 == line)
+        });
+        let location = format!("{rel}:{line}");
+        if allowed {
+            outcome.allows.push((location, rule.to_string()));
+        } else {
+            outcome.findings.push(Finding::new(
+                Layer::Lint,
+                rule,
+                Severity::Warning,
+                location,
+                message,
+            ));
+        }
+    };
+    for rule in RULES.iter().filter(|r| (r.applies)(rel)) {
+        for token in rule.tokens {
+            let mut from = 0usize;
+            while let Some(at) = code[from..].find(token) {
+                let offset = from + at;
+                from = offset + token.len();
+                let line = line_of(offset);
+                if *excluded.get(line - 1).unwrap_or(&false) {
+                    continue;
+                }
+                report(
+                    rule.name,
+                    line,
+                    format!("`{token}` forbidden here: {}", rule.advice),
+                );
+            }
+        }
+    }
+    // lock-poison applies everywhere: `.lock()` must recover from poisoning
+    // inline, never `.unwrap()`/`.expect()` (which would propagate one
+    // panicked thread's poison to every later request).
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(".lock()") {
+        let offset = from + at;
+        from = offset + ".lock()".len();
+        let line = line_of(offset);
+        if *excluded.get(line - 1).unwrap_or(&false) {
+            continue;
+        }
+        let rest = code[offset + ".lock()".len()..].trim_start();
+        if rest.starts_with(".unwrap()") || rest.starts_with(".expect(") {
+            report(
+                "lock-poison",
+                line,
+                "`.lock().unwrap()` propagates poison; use \
+                 `.lock().unwrap_or_else(|poisoned| poisoned.into_inner())` \
+                 (the idiom from crates/model/src/kv.rs)"
+                    .to_string(),
+            );
+        }
+    }
+    outcome
+}
+
+/// Lints every `.rs` file under `crates/*/src` below `root`.
+pub fn lint_repo(root: &Path) -> std::io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut stack = vec![src];
+        while let Some(dir) = stack.pop() {
+            let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+                .filter_map(|entry| entry.ok())
+                .map(|entry| entry.path())
+                .collect();
+            entries.sort();
+            for path in entries {
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|ext| ext == "rs") {
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap_or(&path)
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    let source = std::fs::read_to_string(&path)?;
+                    outcome.merge(lint_source(&rel, &source));
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_in_comments_and_strings_do_not_fire() {
+        let source = r#"
+// calling .unwrap() here would be bad
+fn f() -> usize {
+    let s = "panic!(\".unwrap()\")";
+    s.len()
+}
+"#;
+        let outcome = lint_source("crates/core/src/serve.rs", source);
+        assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+    }
+
+    #[test]
+    fn serve_path_panics_are_found_with_lines() {
+        let source = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let outcome = lint_source("crates/core/src/fleet.rs", source);
+        assert_eq!(outcome.findings.len(), 1);
+        assert_eq!(outcome.findings[0].location, "crates/core/src/fleet.rs:2");
+        // The same source outside the serve path is fine.
+        assert!(lint_source("crates/hv/src/lib.rs", source)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let source = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let outcome = lint_source("crates/core/src/serve.rs", source);
+        assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_recorded() {
+        let source = "fn f(x: Option<u8>) -> u8 {\n    // audit:allow(no-panic, provably Some by construction)\n    x.unwrap()\n}\n";
+        let outcome = lint_source("crates/core/src/serve.rs", source);
+        assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+        assert_eq!(outcome.allows.len(), 1);
+        assert_eq!(outcome.allows[0].1, "no-panic");
+        // Without a reason the allow is ignored.
+        let bare = "fn f(x: Option<u8>) -> u8 {\n    // audit:allow(no-panic)\n    x.unwrap()\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/serve.rs", bare).findings.len(),
+            1
+        );
+        // A mismatched rule name suppresses nothing.
+        let wrong = "fn f(x: Option<u8>) -> u8 {\n    // audit:allow(lock-poison, nope)\n    x.unwrap()\n}\n";
+        assert_eq!(
+            lint_source("crates/core/src/serve.rs", wrong)
+                .findings
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lock_poison_rule_fires_everywhere_but_accepts_the_idiom() {
+        let bad = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap()\n}\n";
+        let outcome = lint_source("crates/hw/src/lib.rs", bad);
+        assert_eq!(outcome.findings.len(), 1);
+        assert_eq!(outcome.findings[0].category, "lock-poison");
+        let good = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())\n}\n";
+        assert!(lint_source("crates/hw/src/lib.rs", good)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn case_alloc_rule_scopes_to_scan_and_detect() {
+        let source = "fn f(s: &str) -> String {\n    s.to_lowercase()\n}\n";
+        assert_eq!(
+            lint_source("crates/detect/src/anything.rs", source)
+                .findings
+                .len(),
+            1
+        );
+        assert_eq!(
+            lint_source("crates/scan/src/lib.rs", source).findings.len(),
+            1
+        );
+        assert!(lint_source("crates/scan/src/naive.rs", source)
+            .findings
+            .is_empty());
+        assert!(lint_source("crates/core/src/report.rs", source)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_lexer() {
+        let source = "fn f<'a>(s: &'a str) -> char {\n    let q = '\"';\n    let n = '\\n';\n    let _ = s;\n    q.min(n)\n}\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let outcome = lint_source("crates/core/src/serve.rs", source);
+        // The unwrap in g must still be seen (the quote char literal did
+        // not swallow the rest of the file as a string).
+        assert_eq!(outcome.findings.len(), 1);
+        assert_eq!(outcome.findings[0].location, "crates/core/src/serve.rs:7");
+    }
+}

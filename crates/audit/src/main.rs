@@ -1,0 +1,98 @@
+//! The `guillotine-audit` binary: runs all three analysis layers over the
+//! shipped defaults and the working tree, writes `AUDIT.json`, and exits
+//! nonzero on any gating finding.
+
+use guillotine::admission::AdmissionConfig;
+use guillotine_admit::DeadlinePolicy;
+use guillotine_audit::{
+    audit_admission, audit_registry, audit_sanitizer, audit_shield, check, finding::Layer,
+    lint_repo, AuditReport, Finding, ModelFault, Severity, DEFAULT_DEPTH, INVARIANTS,
+};
+use guillotine_detect::{CompiledCategories, CompiledShieldRules, DetectorRegistry, InputShield};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/audit` → two levels up).
+fn repo_root() -> PathBuf {
+    let nominal = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    std::fs::canonicalize(&nominal).unwrap_or(nominal)
+}
+
+fn main() -> ExitCode {
+    let mut report = AuditReport::new();
+
+    // Layer 1: configuration analyzer over the shipped defaults.
+    let shield = InputShield::new();
+    let (flag, sever) = shield.thresholds();
+    report.extend(audit_shield(&CompiledShieldRules::standard(), flag, sever));
+    report.extend(audit_sanitizer(&CompiledCategories::standard()));
+    report.extend(audit_registry(&DetectorRegistry::standard()));
+    report.extend(audit_admission(
+        &DeadlinePolicy::default(),
+        &AdmissionConfig::default(),
+    ));
+
+    // Layer 2: bounded model check of the containment state machine.
+    match check(ModelFault::None, DEFAULT_DEPTH) {
+        Ok(proof) => {
+            for invariant in INVARIANTS {
+                report.add_proof(invariant, proof.states_explored);
+            }
+        }
+        Err(counterexample) => {
+            report.extend([Finding::new(
+                Layer::Model,
+                "counterexample",
+                Severity::Error,
+                counterexample.invariant,
+                counterexample.to_string(),
+            )]);
+        }
+    }
+
+    // Layer 3: hot-path lints over the working tree.
+    let root = repo_root();
+    match lint_repo(&root) {
+        Ok(outcome) => {
+            report.extend(outcome.findings);
+            for (location, rule) in outcome.allows {
+                report.add_allow(location, rule);
+            }
+        }
+        Err(err) => {
+            report.extend([Finding::new(
+                Layer::Lint,
+                "io-error",
+                Severity::Error,
+                root.display().to_string(),
+                format!("could not walk the source tree: {err}"),
+            )]);
+        }
+    }
+
+    // Emit AUDIT.json at the repo root, then the human summary.
+    let json_path = root.join("AUDIT.json");
+    if let Err(err) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("warning: could not write {}: {err}", json_path.display());
+    } else {
+        println!("wrote {}", json_path.display());
+    }
+
+    for (invariant, states) in report.proofs() {
+        println!("proved: {invariant} ({states} states explored)");
+    }
+    for finding in report.findings() {
+        println!("{finding}");
+    }
+    let gating = report.gating_count();
+    println!(
+        "guillotine-audit: {} finding(s), {gating} gating",
+        report.findings().len()
+    );
+    if gating > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,245 @@
+//! Integration tests for the configuration analyzer: the soundness of the
+//! dead-rule/subsumption verdict against the real automaton, regression
+//! coverage for the Unicode case-variant duplicate bug, and one constructed
+//! configuration per finding category.
+
+use guillotine::admission::AdmissionConfig;
+use guillotine_admit::{DeadlinePolicy, ShedPolicy};
+use guillotine_audit::{
+    audit_admission, audit_registry, audit_sanitizer, audit_shield, pattern_subsumes, Severity,
+};
+use guillotine_detect::{
+    CompiledCategories, CompiledShieldRules, DetectorRegistry, ForbiddenCategory, InputShield,
+    ShieldRule,
+};
+use guillotine_scan::MatcherBuilder;
+use guillotine_types::SimDuration;
+use proptest::prelude::*;
+
+fn shield_of(rules: &[(&str, f64)]) -> CompiledShieldRules {
+    CompiledShieldRules::compile(rules.iter().map(|(pattern, weight)| ShieldRule {
+        pattern: pattern.to_string(),
+        weight: *weight,
+    }))
+}
+
+fn category(name: &str, markers: &[&str], severity: f64) -> ForbiddenCategory {
+    ForbiddenCategory {
+        name: name.to_string(),
+        markers: markers.iter().map(|m| m.to_string()).collect(),
+        severity,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Soundness of the subsumption predicate (the `dead-rule` verdict).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// If the analyzer says pattern `q` subsumes pattern `p`, then on any
+    /// haystack where the real automaton reports `p`, it also reports `q` —
+    /// i.e. a rule flagged dead because of subsumption never fires without
+    /// its shadower firing. The tight `[ab_ ]` alphabet mixes word and
+    /// non-word bytes so word-boundary edge cases stay frequent.
+    #[test]
+    fn flagged_dead_pattern_never_matches_alone(
+        specs in collection::vec(("[ab_ ]{1,4}", "[wu]{1,1}"), 2..6),
+        haystacks in collection::vec("[ab_ ]{0,10}", 1..8),
+    ) {
+        let mut builder = MatcherBuilder::new();
+        for (pattern, kind) in &specs {
+            if kind == "w" {
+                builder.add_word_bounded(pattern);
+            } else {
+                builder.add(pattern);
+            }
+        }
+        let matcher = builder.build();
+        let infos: Vec<_> = matcher.patterns().collect();
+        for q in &infos {
+            for p in &infos {
+                if q.id == p.id || !pattern_subsumes(q, p) {
+                    continue;
+                }
+                for haystack in &haystacks {
+                    let matched = matcher.matched_ids(haystack);
+                    prop_assert!(
+                        !matched.contains(p.id) || matched.contains(q.id),
+                        "unsound subsumption: {:?} (id {}) matched {haystack:?} \
+                         without its claimed shadower {:?} (id {})",
+                        String::from_utf8_lossy(p.folded), p.id,
+                        String::from_utf8_lossy(q.folded), q.id,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The case-variant duplicate bug (regression) and constructed findings.
+// ---------------------------------------------------------------------
+
+/// Pre-fix, `add_case_variants` compared source spellings instead of
+/// ASCII-folded bytes: a mixed pattern like `"VX-Straße"` registered its
+/// `to_lowercase()` spelling as a second, automaton-identical pattern. The
+/// analyzer's `duplicate-pattern` check is the regression guard.
+#[test]
+fn unicode_case_variants_do_not_duplicate_patterns() {
+    let compiled = shield_of(&[("VX-Straße", 0.9)]);
+    let findings = audit_shield(&compiled, 0.5, 0.9);
+    assert!(
+        findings.iter().all(|f| f.category != "duplicate-pattern"),
+        "case-variant expansion re-registered an identical pattern: {findings:?}"
+    );
+    // The variants that do get registered must be pairwise distinct in
+    // compiled form.
+    let infos: Vec<_> = compiled.matcher().patterns().collect();
+    for a in &infos {
+        for b in &infos {
+            assert!(
+                a.id == b.id || a.folded != b.folded,
+                "patterns {} and {} share folded form {:?}",
+                a.id,
+                b.id,
+                String::from_utf8_lossy(a.folded)
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_registration_is_flagged() {
+    let compiled = shield_of(&[("exfiltrate", 0.5), ("exfiltrate", 0.7)]);
+    let findings = audit_shield(&compiled, 0.5, 0.9);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.category == "duplicate-pattern" && f.severity == Severity::Warning),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn zero_weight_rule_is_dead() {
+    let compiled = shield_of(&[("bioweapon", 0.0), ("exfiltrate", 0.8)]);
+    let findings = audit_shield(&compiled, 0.5, 0.9);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.category == "dead-rule" && f.message.contains("weight 0")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unreachable_escalation_threshold_is_flagged() {
+    // One rule of weight 0.3: max achievable score is 0.3, so the default
+    // sever threshold (0.9) can never trip.
+    let compiled = shield_of(&[("exfiltrate", 0.3)]);
+    let findings = audit_shield(&compiled, 0.25, 0.9);
+    let unreachable: Vec<_> = findings
+        .iter()
+        .filter(|f| f.category == "unreachable-threshold")
+        .collect();
+    assert_eq!(unreachable.len(), 1, "{findings:?}");
+    assert!(unreachable[0].message.contains("sever"), "{findings:?}");
+}
+
+#[test]
+fn cross_rule_subsumption_is_advisory() {
+    // Cross-rule subsumption (the shipped "self-improve" /
+    // "recursive self-improvement" layering) is advisory, not gating:
+    // co-firing stacks weight multiplicatively, which is deliberate.
+    let layered = audit_shield(
+        &shield_of(&[("self-improve", 0.5), ("recursive self-improvement", 0.8)]),
+        0.5,
+        0.9,
+    );
+    assert!(layered
+        .iter()
+        .any(|f| f.category == "subsumed-rule" && f.severity == Severity::Info));
+    assert!(layered.iter().all(|f| !f.severity.gates()), "{layered:?}");
+}
+
+#[test]
+fn sanitizer_conflicts_are_flagged() {
+    let findings = audit_sanitizer(&CompiledCategories::compile([
+        category("weapons", &["nerve agent", "nerve agent"], 0.95),
+        category("weapons", &[], 1.5),
+        category("leaks", &["nerve agent"], 0.7),
+    ]));
+    let has = |cat: &str| findings.iter().any(|f| f.category == cat);
+    assert!(has("duplicate-pattern"), "{findings:?}");
+    assert!(has("dead-rule"), "{findings:?}");
+    assert!(has("invalid-severity"), "{findings:?}");
+    // Both the shared name and the cross-category marker conflict.
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.category == "conflicting-category")
+            .count()
+            >= 2,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn admission_contradictions_are_flagged() {
+    let policy = DeadlinePolicy {
+        max_batch: 64,
+        ..DeadlinePolicy::default()
+    };
+    let config = AdmissionConfig {
+        capacity: 8,
+        shed: ShedPolicy::FailClosed,
+        default_deadline: Some(SimDuration::from_micros(500)),
+    };
+    let findings = audit_admission(&policy, &config);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("exceeds queue capacity")),
+        "{findings:?}"
+    );
+    // Default DeadlinePolicy max_wait is 1ms; a 500µs deadline is below it.
+    assert!(
+        findings.iter().any(|f| f.message.contains("max_wait")),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.category == "policy-contradiction"));
+}
+
+// ---------------------------------------------------------------------
+// The shipped defaults must keep the gate green.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shipped_defaults_have_no_gating_findings() {
+    let shield = InputShield::new();
+    let (flag, sever) = shield.thresholds();
+    let mut findings = audit_shield(&CompiledShieldRules::standard(), flag, sever);
+    findings.extend(audit_sanitizer(&CompiledCategories::standard()));
+    findings.extend(audit_registry(&DetectorRegistry::standard()));
+    findings.extend(audit_admission(
+        &DeadlinePolicy::default(),
+        &AdmissionConfig::default(),
+    ));
+    let gating: Vec<_> = findings.iter().filter(|f| f.severity.gates()).collect();
+    assert!(
+        gating.is_empty(),
+        "shipped defaults gate the build: {gating:?}"
+    );
+    // The one advisory finding we expect: the deliberate self-improvement
+    // weight-stacking pair.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.category == "subsumed-rule")
+            .count(),
+        1,
+        "{findings:?}"
+    );
+}

@@ -296,11 +296,8 @@ impl FrontDoor {
             loop {
                 // Everything that has arrived by now joins the queue
                 // before the former runs again.
-                while pending
-                    .peek()
-                    .is_some_and(|next| next.at <= self.fleet.clock.now())
+                while let Some(arrival) = pending.next_if(|next| next.at <= self.fleet.clock.now())
                 {
-                    let arrival = pending.next().expect("peeked");
                     decisions.push(self.submit_at(arrival.request, arrival.deadline, arrival.at));
                 }
                 match self.step()? {

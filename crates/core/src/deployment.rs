@@ -445,9 +445,11 @@ impl GuillotineDeployment {
     /// [`GuillotineDeployment::serve_batch`] with a single-request batch.
     pub fn serve_prompt(&mut self, prompt: &str) -> Result<ServeResponse> {
         let mut responses = self.serve_batch(vec![ServeRequest::new(prompt)])?;
-        Ok(responses
-            .pop()
-            .expect("serve_batch returns one response per request"))
+        responses.pop().ok_or_else(|| {
+            GuillotineError::runtime_assertion(
+                "serve_batch returned no response for a one-request batch",
+            )
+        })
     }
 
     /// Serves a batch of requests through the full screened path.
@@ -534,6 +536,10 @@ impl GuillotineDeployment {
     /// Responses always come back in submission order, one per request. A
     /// stream ends [`StreamEnd::SeveredMidStream`] if and only if its
     /// response outcome is [`ServeOutcomeKind::Escalated`].
+    ///
+    /// "No further chunks" after a sever is the model-checked
+    /// `no-chunk-after-severed-stream` invariant in `guillotine-audit`: a
+    /// severed stream is terminal, never resumed or flushed.
     pub fn serve_batch_streaming_with_chunk(
         &mut self,
         requests: Vec<ServeRequest>,

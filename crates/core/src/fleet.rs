@@ -474,25 +474,27 @@ impl GuillotineFleet {
         }
         let kv = kv_config.map(|cfg| Arc::new(KvTier::new(cfg)));
         // Standard-suite shards share one compiled scan automaton per
-        // ruleset: the text screens are compiled once here and cloned per
-        // shard (clones share the `Arc`ed compiled form), instead of each
+        // ruleset: the text screens are compiled once, on the first shard
+        // that needs them, and cloned per shard
+        // (clones share the `Arc`ed compiled form), instead of each
         // shard paying its own fleet-ruleset compilation.
-        let shared_screens = shard_builder
-            .is_none()
-            .then(|| (InputShield::new(), OutputSanitizer::new()));
+        let mut shared_screens: Option<(InputShield, OutputSanitizer)> = None;
         let mut datacenter = Datacenter::new("fleet-dc0");
         let mut shards = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let machine = MachineId::new(config.base.machine.raw() + i as u32);
-            let mut builder = match (&shard_builder, &shared_screens) {
-                (Some(factory), _) => factory(i),
-                (None, Some((shield, sanitizer))) => DeploymentBuilder::new()
-                    .with_config(config.base.clone())
-                    .with_registry(DetectorRegistry::standard_with_screens(
-                        shield.clone(),
-                        sanitizer.clone(),
-                    )),
-                (None, None) => unreachable!("shared screens exist whenever no factory does"),
+            let mut builder = match &shard_builder {
+                Some(factory) => factory(i),
+                None => {
+                    let (shield, sanitizer) = shared_screens
+                        .get_or_insert_with(|| (InputShield::new(), OutputSanitizer::new()));
+                    DeploymentBuilder::new()
+                        .with_config(config.base.clone())
+                        .with_registry(DetectorRegistry::standard_with_screens(
+                            shield.clone(),
+                            sanitizer.clone(),
+                        ))
+                }
             };
             if let Some(tier) = &kv {
                 builder = builder.with_kv_tier(Arc::clone(tier));
@@ -619,6 +621,11 @@ impl GuillotineFleet {
     /// Marks a shard quarantined, dropping its KV blocks if the fleet was
     /// configured to prefer containment over cache locality (idempotent per
     /// quarantine episode).
+    ///
+    /// The KV drop here is one half of the model-checked
+    /// `no-kv-from-invalidated-generation` invariant (the other half is the
+    /// generation bump in `guillotine-model`'s `KvTier`): once a shard is
+    /// quarantined, no later lookup may serve blocks cached under it.
     fn quarantine_shard(&mut self, index: usize) {
         self.shards[index].quarantined = true;
         if !self.invalidate_kv_on_quarantine || self.shards[index].kv_invalidated {
@@ -637,6 +644,12 @@ impl GuillotineFleet {
     /// `reinstate` is for making an out-of-band relaxation visible to
     /// [`GuillotineFleet::shard_for_session`] previews (and the datacenter
     /// mirror) immediately, without serving a batch first.
+    ///
+    /// Reinstatement is gated on the console having relaxed the shard's
+    /// isolation level — the relaxation quorum lives in `guillotine-physical`'s
+    /// console rules, never here. That split is the model-checked
+    /// `no-reinstate-without-quorum` invariant: the fleet cannot lift a
+    /// quarantine on its own say-so.
     pub fn reinstate(&mut self, index: usize) -> bool {
         let healthy = self.shards[index]
             .deployment
@@ -664,6 +677,12 @@ impl GuillotineFleet {
 
     /// Computes a session's stable home shard and its current routing
     /// target in one hash.
+    ///
+    /// This routing rule is what the `guillotine-audit` model checker
+    /// abstracts: probing only non-quarantined shards is the
+    /// `no-serve-from-quarantined-shard` invariant, and the
+    /// all-quarantined fallback to a home shard that refuses traffic is
+    /// `fail-closed-when-fully-quarantined`.
     fn affinity_route(&self, session: SessionId) -> (usize, usize) {
         let n = self.shards.len();
         let home = self.home_shard(session);
@@ -840,6 +859,7 @@ impl GuillotineFleet {
                     Some(
                         indices
                             .iter()
+                            // audit:allow(no-panic, plan_batch partitions 0..len into disjoint index sets, so each slot is taken exactly once)
                             .map(|&i| slots[i].take().expect("each request routed once"))
                             .collect(),
                     )
@@ -888,10 +908,16 @@ impl GuillotineFleet {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(responses
+        responses
             .into_iter()
-            .map(|r| r.expect("one response per request"))
-            .collect())
+            .map(|r| {
+                r.ok_or_else(|| {
+                    GuillotineError::runtime_assertion(
+                        "a routed request came back without a response",
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Serves a batch across the fleet: requests are routed to shards, each
@@ -937,7 +963,15 @@ impl GuillotineFleet {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|handle| handle.map(|h| h.join().expect("shard serving panicked")))
+                    .map(|handle| {
+                        handle.map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(GuillotineError::runtime_assertion(
+                                    "a shard serving thread panicked mid-batch",
+                                ))
+                            })
+                        })
+                    })
                     .collect()
             })
         })

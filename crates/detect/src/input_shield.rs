@@ -131,6 +131,14 @@ impl CompiledShieldRules {
     pub fn matcher(&self) -> &Matcher {
         &self.matcher
     }
+
+    /// Index of the rule owning `pattern` (a pattern id reported by
+    /// [`CompiledShieldRules::matcher`]) — the mirror of
+    /// [`crate::CompiledCategories::category_of_pattern`]. A rule owns
+    /// several pattern ids when its Unicode case variants were expanded.
+    pub fn rule_of_pattern(&self, pattern: usize) -> usize {
+        self.pattern_rule[pattern]
+    }
 }
 
 /// The input-shield detector.
@@ -209,6 +217,14 @@ impl InputShield {
     pub fn set_threshold(&mut self, flag: f64, sever: f64) {
         self.flag_threshold = flag;
         self.sever_threshold = sever.max(flag);
+    }
+
+    /// The `(flag, sever)` score thresholds this shield escalates at. The
+    /// `guillotine-audit` analyzer compares these against the maximum score
+    /// the installed ruleset can actually produce to prove every escalation
+    /// tier reachable.
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.flag_threshold, self.sever_threshold)
     }
 
     /// Number of prompts inspected.

@@ -11,6 +11,16 @@ use guillotine_scan::MatcherBuilder;
 /// `"münchen"` rule also matches `"MÜNCHEN"`, as it did under the old
 /// `to_lowercase` scans. Per-character mixed case of *non-ASCII* letters is
 /// not enumerated; ASCII letters always fold regardless.
+///
+/// Variants are deduplicated on their **ASCII-folded** byte form — the form
+/// the automaton actually distinguishes. Comparing source spellings is not
+/// enough: for a mixed pattern like `"VX-Straße"`, `to_lowercase()` differs
+/// from the original as a string (`"vx-straße"`) yet folds to the identical
+/// automaton pattern, and registering both inserted a dead duplicate that
+/// fired twice at every occurrence — wasted automaton states, doubled
+/// output-set work on the scan hot path, and an inflated distinct-pattern
+/// count. The `guillotine-audit` configuration analyzer's
+/// `duplicate-pattern` check guards this invariant.
 pub(crate) fn add_case_variants(
     builder: &mut MatcherBuilder,
     pattern: &str,
@@ -18,6 +28,8 @@ pub(crate) fn add_case_variants(
     target: usize,
     map: &mut Vec<usize>,
 ) {
+    let fold = |text: &str| -> Vec<u8> { text.bytes().map(|b| b.to_ascii_lowercase()).collect() };
+    let folded = fold(pattern);
     let mut add = |text: &str| {
         if word_bounded {
             builder.add_word_bounded(text);
@@ -28,12 +40,15 @@ pub(crate) fn add_case_variants(
     };
     add(pattern);
     if !pattern.is_ascii() {
-        let lower = pattern.to_lowercase();
-        if lower != pattern {
+        // Construction-time only: variants are enumerated once per compile,
+        // never on the per-request scan path.
+        let lower = pattern.to_lowercase(); // audit:allow(no-case-alloc, compile-time variant expansion)
+        let lower_folded = fold(&lower);
+        if lower_folded != folded {
             add(&lower);
         }
-        let upper = pattern.to_uppercase();
-        if upper != pattern && upper != lower {
+        let upper = pattern.to_uppercase(); // audit:allow(no-case-alloc, compile-time variant expansion)
+        if fold(&upper) != folded && fold(&upper) != lower_folded {
             add(&upper);
         }
     }

@@ -286,6 +286,11 @@ impl KvCache {
 
     /// Bumps the session's generation and drops its live blocks, so its next
     /// turn starts from a cold cache.
+    ///
+    /// The generation is part of every cache key, so blocks cached before
+    /// the bump can never satisfy a later lookup even if a drop were
+    /// missed — the mechanism behind `guillotine-audit`'s model-checked
+    /// `no-kv-from-invalidated-generation` invariant.
     pub fn invalidate_session(&mut self, session: SessionId) -> u64 {
         *self.generations.entry(session.raw()).or_default() += 1;
         self.remove_where(|key, _| key.0 == session.raw())

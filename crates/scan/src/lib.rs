@@ -91,10 +91,26 @@ impl Match {
 /// Per-pattern metadata retained by the compiled matcher.
 #[derive(Debug, Clone)]
 struct PatternMeta {
-    /// Case-folded length in bytes (0 for the never-matching empty pattern).
-    len: usize,
+    /// The case-folded pattern bytes (empty for the never-matching empty
+    /// pattern). A slice's length lives in its fat pointer, so the hot
+    /// `len()` lookup costs the same as the dedicated field it replaced.
+    folded: Box<[u8]>,
     /// Whether both neighbours must be non-word bytes for a hit to count.
     word_bounded: bool,
+}
+
+/// Read-only view of one compiled pattern, for configuration introspection
+/// (the `guillotine-audit` analyzer walks these to prove rules live).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternInfo<'m> {
+    /// The pattern id (its insertion index at compile time).
+    pub id: usize,
+    /// The ASCII-case-folded pattern bytes the automaton actually matches.
+    /// Empty patterns never match.
+    pub folded: &'m [u8],
+    /// True when the pattern only matches with non-word bytes (or text
+    /// edges) on both sides.
+    pub word_bounded: bool,
 }
 
 /// Builder collecting patterns (with per-pattern options) for a [`Matcher`].
@@ -285,7 +301,7 @@ impl Matcher {
             patterns: patterns
                 .iter()
                 .map(|(folded, word_bounded)| PatternMeta {
-                    len: folded.len(),
+                    folded: folded.clone().into_boxed_slice(),
                     word_bounded: *word_bounded,
                 })
                 .collect(),
@@ -304,6 +320,33 @@ impl Matcher {
     /// - 1` bytes of it.
     pub fn max_pattern_len(&self) -> usize {
         self.max_len
+    }
+
+    /// The compiled form of pattern `id`, or `None` past the end.
+    ///
+    /// This is the introspection surface the `guillotine-audit` configuration
+    /// analyzer reasons over: the *folded* bytes are what the automaton
+    /// matches, so subsumption ("every occurrence of P contains Q") and
+    /// duplicate detection must be decided on these, not on the source
+    /// spellings callers registered.
+    pub fn pattern_info(&self, id: usize) -> Option<PatternInfo<'_>> {
+        self.patterns.get(id).map(|meta| PatternInfo {
+            id,
+            folded: &meta.folded,
+            word_bounded: meta.word_bounded,
+        })
+    }
+
+    /// Iterates every compiled pattern in id order.
+    pub fn patterns(&self) -> impl Iterator<Item = PatternInfo<'_>> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(id, meta)| PatternInfo {
+                id,
+                folded: &meta.folded,
+                word_bounded: meta.word_bounded,
+            })
     }
 
     /// Streams every match to `visit` in end-offset order (ties
@@ -326,7 +369,7 @@ impl Matcher {
             }
             for &id in &self.out_ids[out_start as usize..out_end as usize] {
                 let meta = &self.patterns[id as usize];
-                let start = i + 1 - meta.len;
+                let start = i + 1 - meta.folded.len();
                 if meta.word_bounded {
                     let left_ok = start == 0 || !is_word_byte(bytes[start - 1]);
                     let right_ok = i + 1 == bytes.len() || !is_word_byte(bytes[i + 1]);
@@ -374,7 +417,7 @@ impl Matcher {
             }
             for &id in &self.out_ids[out_start as usize..out_end as usize] {
                 let meta = &self.patterns[id as usize];
-                let start = i + 1 - meta.len;
+                let start = i + 1 - meta.folded.len();
                 let mut tentative = false;
                 if meta.word_bounded {
                     let left_ok = if start == 0 {
@@ -495,7 +538,7 @@ impl Matcher {
             let (out_start, out_end) = self.out_ranges[state];
             for &id in &self.out_ids[out_start as usize..out_end as usize] {
                 let meta = &self.patterns[id as usize];
-                let start = i + 1 - meta.len;
+                let start = i + 1 - meta.folded.len();
                 if start < from {
                     continue;
                 }

@@ -137,6 +137,16 @@ impl GuillotineError {
         }
     }
 
+    /// Builds a [`GuillotineError::RuntimeAssertion`] from anything
+    /// printable — the serve path returns this instead of panicking when an
+    /// internal invariant breaks, so one bad batch fails closed rather than
+    /// taking the worker thread (and any mutex it holds) down with it.
+    pub fn runtime_assertion(reason: impl fmt::Display) -> Self {
+        GuillotineError::RuntimeAssertion {
+            reason: reason.to_string(),
+        }
+    }
+
     /// Returns true if this error denotes a *security-relevant* event that
     /// the misbehavior detector should be informed about (as opposed to a
     /// plain configuration or capacity error).
