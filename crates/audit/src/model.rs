@@ -57,13 +57,21 @@ const MAX_QUEUE: usize = 2;
 /// * `no-chunk-after-severed-stream` —
 ///   `GuillotineDeployment::serve_batch_streaming_with_chunk`
 /// * `no-reinstate-without-quorum` — `GuillotineDeployment::console_transition`
-pub const INVARIANTS: [&str; 6] = [
+/// * `no-double-serve-under-retry` — `FrontDoor::serve_recoverable`'s ticket
+///   idempotency (a retry/hedge duplicate of an already-served request must
+///   be suppressed, never served again)
+/// * `no-relax-while-partitioned` — `FleetConsole::bulk_relax` (a quorum
+///   reached while the fleet console is partitioned from its machines must
+///   not reinstate anything: split-brain fails closed)
+pub const INVARIANTS: [&str; 8] = [
     "fail-closed-when-fully-quarantined",
     "no-serve-from-quarantined-shard",
     "session-order-preserved-across-rehome",
     "no-kv-from-invalidated-generation",
     "no-chunk-after-severed-stream",
     "no-reinstate-without-quorum",
+    "no-double-serve-under-retry",
+    "no-relax-while-partitioned",
 ];
 
 /// One deliberately-injected bug in the transition function, for mutant
@@ -90,6 +98,14 @@ pub enum ModelFault {
     EmitAfterSever,
     /// The console reinstates a shard without a vote quorum.
     ReinstateWithoutQuorum,
+    /// Dispatch serves a retry/hedge duplicate of an already-delivered
+    /// request instead of suppressing it — the double-serve bug the
+    /// front door's ticket idempotency exists to prevent.
+    ServeDuplicate,
+    /// The console honours a reinstate quorum even while partitioned from
+    /// its machines — the split-brain relax bug `FleetConsole::bulk_relax`
+    /// fails closed against.
+    RelaxWhilePartitioned,
 }
 
 /// Per-stream lifecycle in the abstract model.
@@ -130,6 +146,10 @@ struct Session {
 struct State {
     shards: [Shard; N_SHARDS],
     sessions: [Session; N_SESSIONS],
+    /// True while the fleet console is partitioned from its machines (the
+    /// datacenter-level split-brain flag `FleetConsole::split_brain`
+    /// models; reinstatement must fail closed while it is set).
+    partitioned: bool,
 }
 
 impl State {
@@ -147,6 +167,7 @@ impl State {
                 kv: [None; N_SHARDS],
                 stream: Stream::Idle,
             }),
+            partitioned: false,
         }
     }
 
@@ -189,6 +210,14 @@ enum Action {
     EmitChunk { session: u8 },
     /// A live stream finishes cleanly.
     CloseStream { session: u8 },
+    /// The recovery layer re-enqueues a duplicate of the session's most
+    /// recently delivered request (a retry racing its original, or a hedge
+    /// losing after the primary completed).
+    RetryEnqueue { session: u8 },
+    /// The fleet console loses contact with its machines (split-brain).
+    Partition,
+    /// The console partition heals.
+    Heal,
 }
 
 impl fmt::Display for Action {
@@ -201,6 +230,9 @@ impl fmt::Display for Action {
             Action::Reinstate { shard } => write!(f, "Reinstate(shard {shard})"),
             Action::EmitChunk { session } => write!(f, "EmitChunk(session {session})"),
             Action::CloseStream { session } => write!(f, "CloseStream(session {session})"),
+            Action::RetryEnqueue { session } => write!(f, "RetryEnqueue(session {session})"),
+            Action::Partition => write!(f, "ConsolePartition"),
+            Action::Heal => write!(f, "ConsoleHeal"),
         }
     }
 }
@@ -263,6 +295,17 @@ fn apply(state: &State, action: Action, fault: ModelFault) -> Option<Step> {
                 return None;
             }
             let s = session as usize;
+            // A sequence number at or below the delivered watermark is a
+            // retry/hedge duplicate of something already served. The
+            // idempotency layer must suppress it (dequeue without serving);
+            // serving it again is the double-serve bug.
+            if seq <= state.sessions[s].delivered {
+                if fault == ModelFault::ServeDuplicate {
+                    return Some(Step::Violation(INVARIANTS[6]));
+                }
+                next.shards[i].queue.remove(0);
+                return Some(Step::Next(next));
+            }
             // Session order: served strictly in submission order, nothing
             // admitted ever skipped. A gap here means an admitted request
             // was lost (e.g. dropped instead of re-homed).
@@ -335,6 +378,15 @@ fn apply(state: &State, action: Action, fault: ModelFault) -> Option<Step> {
                 }
                 return None;
             }
+            // Even a full quorum must not act while the console cannot see
+            // its machines: the votes may be the minority side of a split
+            // brain. Relaxation fails closed until the partition heals.
+            if state.partitioned {
+                if fault == ModelFault::RelaxWhilePartitioned {
+                    return Some(Step::Violation(INVARIANTS[7]));
+                }
+                return None;
+            }
             next.shards[i].quarantined = false;
             next.shards[i].votes = 0;
             // Stranded work (total quarantine) re-homes onto the freshly
@@ -376,6 +428,40 @@ fn apply(state: &State, action: Action, fault: ModelFault) -> Option<Step> {
                 _ => return None,
             }
         }
+        Action::RetryEnqueue { session } => {
+            let s = session as usize;
+            // Only meaningful once something was delivered, and one
+            // duplicate in flight at a time bounds the state space.
+            let seq = state.sessions[s].delivered;
+            if seq == 0 {
+                return None;
+            }
+            let duplicate_queued = state
+                .shards
+                .iter()
+                .flat_map(|shard| shard.queue.iter())
+                .any(|&(who, q)| who == session && q <= seq);
+            if duplicate_queued {
+                return None;
+            }
+            let shard = state.route(session)?;
+            if state.shards[shard].queue.len() >= MAX_QUEUE {
+                return None;
+            }
+            next.shards[shard].queue.push((session, seq));
+        }
+        Action::Partition => {
+            if state.partitioned {
+                return None;
+            }
+            next.partitioned = true;
+        }
+        Action::Heal => {
+            if !state.partitioned {
+                return None;
+            }
+            next.partitioned = false;
+        }
     }
     Some(Step::Next(next))
 }
@@ -393,7 +479,10 @@ fn all_actions() -> Vec<Action> {
         actions.push(Action::Submit { session });
         actions.push(Action::EmitChunk { session });
         actions.push(Action::CloseStream { session });
+        actions.push(Action::RetryEnqueue { session });
     }
+    actions.push(Action::Partition);
+    actions.push(Action::Heal);
     actions
 }
 

@@ -13,7 +13,7 @@ fn faithful_model_proves_every_invariant() {
         "suspiciously small state space: {}",
         proof.states_explored
     );
-    assert_eq!(INVARIANTS.len(), 6);
+    assert_eq!(INVARIANTS.len(), 8);
 }
 
 fn expect_counterexample(fault: ModelFault, invariant: &str) -> Counterexample {
@@ -87,6 +87,36 @@ fn reinstating_without_quorum_is_caught() {
     );
     // Quarantine then an immediate vote-less reinstate: two steps.
     assert_eq!(counterexample.trace.len(), 2, "{counterexample}");
+}
+
+/// The chaos PR's first new mutant: dispatch serves a retry/hedge
+/// duplicate of an already-delivered request instead of suppressing it.
+/// The minimal witness needs a full serve before the duplicate exists:
+/// submit → dispatch → retry-enqueue → dispatch.
+#[test]
+fn double_serving_a_retry_duplicate_is_caught() {
+    let counterexample =
+        expect_counterexample(ModelFault::ServeDuplicate, "no-double-serve-under-retry");
+    let trace = counterexample.trace.join("\n");
+    assert!(trace.contains("RetryEnqueue"), "{counterexample}");
+    assert!(
+        counterexample.trace.len() >= 4,
+        "a duplicate cannot exist before one serve completed: {counterexample}"
+    );
+}
+
+/// The chaos PR's second new mutant: a reinstate quorum honoured while the
+/// fleet console is partitioned from its machines. Split-brain must fail
+/// closed — the votes may be the minority side.
+#[test]
+fn relaxing_while_partitioned_is_caught() {
+    let counterexample = expect_counterexample(
+        ModelFault::RelaxWhilePartitioned,
+        "no-relax-while-partitioned",
+    );
+    let trace = counterexample.trace.join("\n");
+    assert!(trace.contains("ConsolePartition"), "{counterexample}");
+    assert!(trace.contains("Reinstate"), "{counterexample}");
 }
 
 /// Counterexamples render as numbered, human-readable traces — that is the

@@ -1,0 +1,275 @@
+//! E19: chaos — fleet availability and deadline-keeping under a seeded
+//! fault schedule, with the self-healing recovery stack on vs off.
+//!
+//! One deterministic [`FaultPlan::seeded`] schedule (shard crashes and
+//! recoveries, slowdowns, console partitions and heals, lossy and
+//! duplicating links, one KV eviction storm) is played against the same
+//! arrival trace through two identical fleets behind a `FrontDoor`:
+//!
+//! * **recovery on** — bounded-backoff retry, latency-quantile hedging,
+//!   serve timeouts, ticket idempotency, crash re-queue, cold-KV
+//!   probation, and the graceful-degradation ladder;
+//! * **recovery off** — `RecoveryConfig::disabled()`: no retries, no
+//!   hedges, no ladder; a failed sub-batch is refused on the spot.
+//!
+//! Headline assertions: recovery must beat recovery-off on availability
+//! (delivered fraction of admitted requests), and the safety witnesses
+//! must both read zero — no ticket double-served by a retry or hedge, no
+//! session's responses reordered by a re-queue. The chaos trace is
+//! written as `CHAOS_TRACE_e19.json` next to `BENCH_e19.json` so CI can
+//! archive exactly what broke and what the fleet did about it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guillotine::admission::{AdmissionConfig, FrontDoor, TimedArrival};
+use guillotine::chaos::{ChaosDoor, FaultPlan};
+use guillotine::fleet::GuillotineFleet;
+use guillotine::recovery::RecoveryConfig;
+use guillotine::serve::{ServePriority, ServeRequest};
+use guillotine::{DeadlinePolicy, KvCacheConfig, ShedPolicy};
+use guillotine_types::{SessionId, SimDuration, SimInstant};
+
+const REQUESTS: u32 = 192;
+const SHARDS: usize = 4;
+const SESSIONS: u32 = 24;
+const SEED: u64 = 0x5EED;
+/// Arrival spacing; 192 arrivals span ~9.6 simulated milliseconds.
+const SPACING_NS: u64 = 50_000;
+/// Every fault in the seeded plan fires inside the arrival span.
+const HORIZON: SimDuration = SimDuration::from_millis(8);
+
+fn trace() -> Vec<TimedArrival> {
+    (0..REQUESTS)
+        .map(|i| {
+            let (priority, deadline) = match i % 3 {
+                0 => (
+                    ServePriority::Interactive,
+                    Some(SimDuration::from_millis(150)),
+                ),
+                1 => (ServePriority::Normal, Some(SimDuration::from_millis(600))),
+                _ => (ServePriority::Batch, None),
+            };
+            TimedArrival {
+                at: SimInstant::from_nanos(u64::from(i) * SPACING_NS),
+                request: ServeRequest::new(format!(
+                    "Please summarize item {i} of the incident report."
+                ))
+                .with_session(SessionId::new(i % SESSIONS))
+                .with_priority(priority),
+                deadline,
+            }
+        })
+        .collect()
+}
+
+fn door(recovery: RecoveryConfig) -> FrontDoor {
+    let fleet = GuillotineFleet::builder()
+        .with_shards(SHARDS)
+        .with_kv_cache(KvCacheConfig::default())
+        .with_probation(3, 2)
+        .build()
+        .unwrap();
+    FrontDoor::new(
+        fleet,
+        AdmissionConfig {
+            capacity: 512,
+            shed: ShedPolicy::FailClosed,
+            default_deadline: Some(SimDuration::from_secs(5)),
+        },
+        Box::new(DeadlinePolicy {
+            max_batch: 8,
+            max_wait: SimDuration::from_micros(100),
+            ..DeadlinePolicy::default()
+        }),
+    )
+    .with_recovery(recovery)
+}
+
+struct Outcome {
+    admitted: u64,
+    answered: u64,
+    delivered: u64,
+    misses: u64,
+    retries: u64,
+    requeued: u64,
+    hedges: u64,
+    hedges_won: u64,
+    timeouts: u64,
+    ladder_shed: u64,
+    double_serves: u64,
+    session_reorderings: u64,
+    mttr: SimDuration,
+    degraded: SimDuration,
+    trace_json: String,
+}
+
+impl Outcome {
+    /// Delivered fraction of admitted requests: did admitted work get a
+    /// real answer, or a refusal?
+    fn availability(&self) -> f64 {
+        if self.admitted == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.admitted as f64
+    }
+
+    /// Delivered fraction of *offered* load — ladder sheds count against
+    /// this one.
+    fn goodput(&self) -> f64 {
+        self.delivered as f64 / f64::from(REQUESTS)
+    }
+}
+
+fn run(recovery: RecoveryConfig) -> Outcome {
+    let plan = FaultPlan::seeded(SEED, SHARDS, HORIZON);
+    let mut chaos = ChaosDoor::new(door(recovery), plan);
+    let (decisions, responses) = chaos.play(trace()).unwrap();
+    let (door, chaos_trace) = chaos.into_parts();
+    let stats = door.stats();
+    let recovery_stats = &stats.recovery;
+    let admission = stats.admission.as_ref().expect("door carries admission");
+    Outcome {
+        admitted: decisions.iter().filter(|d| d.admitted()).count() as u64,
+        answered: responses.len() as u64,
+        delivered: responses.iter().filter(|r| r.delivered()).count() as u64,
+        misses: admission.deadlines_missed,
+        retries: recovery_stats.retries,
+        requeued: recovery_stats.requeued_in_flight,
+        hedges: recovery_stats.hedges,
+        hedges_won: recovery_stats.hedges_won,
+        timeouts: recovery_stats.timeouts,
+        ladder_shed: recovery_stats.ladder_shed,
+        double_serves: recovery_stats.double_serves,
+        session_reorderings: recovery_stats.session_reorderings,
+        mttr: recovery_stats.mean_mttr(),
+        degraded: recovery_stats.degraded_time(),
+        trace_json: chaos_trace.to_json(),
+    }
+}
+
+/// A latency-aware recovery config: hedge past 4x and time out past 32x a
+/// healthy single-request baseline measured on an unfaulted fleet.
+fn tuned_recovery() -> RecoveryConfig {
+    let mut probe = door(RecoveryConfig::disabled());
+    probe.submit(ServeRequest::new("Baseline latency probe.").with_session(SessionId::new(0)));
+    let baseline = probe.drain().unwrap()[0].latency.total();
+    RecoveryConfig {
+        hedge_threshold: Some(baseline.saturating_mul(4)),
+        serve_timeout: Some(baseline.saturating_mul(32)),
+        // Retries and re-routing absorb a two-shard outage on a
+        // four-shard fleet; the ladder steps in only when three are gone.
+        shed_health: 0.3,
+        streaming_health: 0.15,
+        ..RecoveryConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let with = run(tuned_recovery());
+    let without = run(RecoveryConfig::disabled());
+
+    // Every admitted request is answered in both modes — recovery changes
+    // *what* the answer is (delivered vs refused), never whether one comes.
+    assert_eq!(with.answered, with.admitted);
+    assert_eq!(without.answered, without.admitted);
+    // The safety witnesses: retry/hedge/re-queue never double-serves a
+    // ticket and never reorders a session, under the full fault schedule.
+    assert_eq!(with.double_serves, 0, "double-served tickets");
+    assert_eq!(with.session_reorderings, 0, "session reorderings");
+    assert_eq!(without.double_serves, 0);
+    assert_eq!(without.session_reorderings, 0);
+
+    let gain = with.availability() - without.availability();
+    println!(
+        "e19: {REQUESTS} arrivals / {SHARDS} shards under seeded fault plan {SEED:#x} -> \
+         recovery ON  {:.1}% available ({} delivered / {} admitted, {} misses, \
+         {} retries, {} re-queued, {} hedges ({} won), {} timeouts, {} ladder-shed, \
+         mean MTTR {}, degraded {})",
+        with.availability() * 100.0,
+        with.delivered,
+        with.admitted,
+        with.misses,
+        with.retries,
+        with.requeued,
+        with.hedges,
+        with.hedges_won,
+        with.timeouts,
+        with.ladder_shed,
+        with.mttr,
+        with.degraded,
+    );
+    println!(
+        "e19: recovery OFF {:.1}% available ({} delivered / {} admitted, {} misses) \
+         -> recovery worth +{:.1} points of availability",
+        without.availability() * 100.0,
+        without.delivered,
+        without.admitted,
+        without.misses,
+        gain * 100.0,
+    );
+    assert!(
+        with.availability() > without.availability(),
+        "recovery must beat recovery-off on availability: {:.3} vs {:.3}",
+        with.availability(),
+        without.availability()
+    );
+    assert!(
+        with.goodput() >= without.goodput(),
+        "recovery must not trade availability for goodput: {:.3} vs {:.3}",
+        with.goodput(),
+        without.goodput()
+    );
+    assert!(
+        with.retries + with.requeued > 0,
+        "the seeded plan must actually exercise the retry/re-queue path"
+    );
+
+    std::fs::write("CHAOS_TRACE_e19.json", &with.trace_json).expect("write chaos trace");
+    println!("e19: wrote CHAOS_TRACE_e19.json");
+
+    guillotine_bench::BenchJson::new("e19", "chaos")
+        .metric("availability_with_recovery", with.availability())
+        .metric("availability_without_recovery", without.availability())
+        .metric("goodput_with_recovery", with.goodput())
+        .metric("goodput_without_recovery", without.goodput())
+        .metric("deadline_misses_with_recovery", with.misses as f64)
+        .metric("deadline_misses_without_recovery", without.misses as f64)
+        .metric("retries", with.retries as f64)
+        .metric("requeued_in_flight", with.requeued as f64)
+        .metric("hedges", with.hedges as f64)
+        .metric("hedges_won", with.hedges_won as f64)
+        .metric("timeouts", with.timeouts as f64)
+        .metric("ladder_shed", with.ladder_shed as f64)
+        .metric("mean_mttr_ms", with.mttr.as_secs_f64() * 1e3)
+        .metric("degraded_ms", with.degraded.as_secs_f64() * 1e3)
+        .bar(
+            "availability_recovery_vs_off",
+            with.availability(),
+            without.availability(),
+        )
+        .bar(
+            "no_double_serves",
+            if with.double_serves == 0 { 1.0 } else { 0.0 },
+            1.0,
+        )
+        .bar(
+            "no_session_reorderings",
+            if with.session_reorderings == 0 {
+                1.0
+            } else {
+                0.0
+            },
+            1.0,
+        )
+        .write();
+
+    // Wall-clock: the full chaos replay with recovery on.
+    let mut group = c.benchmark_group("e19_chaos");
+    group.sample_size(10);
+    group.bench_function("chaos_replay_with_recovery", |b| {
+        b.iter(|| run(tuned_recovery()).delivered)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Deterministic chaos engineering for the Guillotine fleet.
+//!
+//! The paper's containment claim is universally quantified: the deployment
+//! must fail *closed* under any failure the operator can imagine. Hand-placed
+//! failures in unit tests only witness the failures someone imagined while
+//! writing the test. This crate turns failure into **data**: a [`FaultPlan`]
+//! is a seeded, reproducible schedule of timed [`FaultEvent`]s — shard
+//! crashes, slowdowns, console↔machine partitions, heartbeat loss, tamper
+//! evidence, KV eviction storms, packet duplication — executed against a
+//! fleet by a [`FaultInjector`] driven off the fleet `SimClock`.
+//!
+//! The crate is deliberately **pure data + scheduling**: it depends only on
+//! `guillotine-types` and knows nothing about fleets. The `guillotine`
+//! umbrella crate's `chaos` module interprets each [`FaultKind`] against a
+//! live `FrontDoor`, and records each injection plus its observed consequence
+//! in a machine-readable [`ChaosTrace`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod trace;
+
+pub use plan::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use trace::{ChaosRecord, ChaosTrace};

@@ -1,0 +1,355 @@
+//! Fault plans: seeded, reproducible schedules of timed fault events.
+
+use guillotine_types::{DetRng, SimDuration, SimInstant};
+use std::fmt;
+
+/// One kind of injected failure. Shard indices refer to fleet shard order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The shard's serving process dies: responses in flight are lost and
+    /// the shard takes no traffic until a [`FaultKind::ShardRecover`].
+    ShardCrash {
+        /// Index of the crashing shard.
+        shard: usize,
+    },
+    /// The crashed shard comes back — cold, entering KV probation.
+    ShardRecover {
+        /// Index of the recovering shard.
+        shard: usize,
+    },
+    /// The shard keeps serving but `factor`× slower (degraded hardware, a
+    /// noisy neighbour, thermal throttling). `factor == 0` is treated as 1.
+    ShardSlowdown {
+        /// Index of the slowed shard.
+        shard: usize,
+        /// Latency multiplier applied to the shard's serving time.
+        factor: u32,
+    },
+    /// Clears a shard's slowdown.
+    ShardRestore {
+        /// Index of the restored shard.
+        shard: usize,
+    },
+    /// Disconnects the console↔machine link of one shard
+    /// (`Network::disconnect_link`): its watchdog stops hearing heartbeats
+    /// and drives the shard offline — containment, not availability.
+    ConsolePartition {
+        /// Index of the partitioned shard.
+        shard: usize,
+    },
+    /// Reconnects a partitioned shard's console link and relaxes it back
+    /// through its console quorum.
+    ConsoleHeal {
+        /// Index of the healed shard.
+        shard: usize,
+    },
+    /// Sets the shard network's packet-loss probability (lossy heartbeats).
+    HeartbeatLoss {
+        /// Index of the affected shard.
+        shard: usize,
+        /// New loss probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Sets the shard network's packet-duplication probability.
+    PacketDuplication {
+        /// Index of the affected shard.
+        shard: usize,
+        /// Duplication probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Records physical tamper evidence on the shard's machine; its
+    /// hypervisor must fail closed (escalate), never keep serving.
+    Tamper {
+        /// Index of the tampered shard.
+        shard: usize,
+    },
+    /// Drops every shard's blocks from the fleet KV tier at once (a cache
+    /// wipe / mass eviction): the fleet must keep serving, cold.
+    KvEvictionStorm,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::ShardCrash { shard } => write!(f, "shard-crash(shard {shard})"),
+            FaultKind::ShardRecover { shard } => write!(f, "shard-recover(shard {shard})"),
+            FaultKind::ShardSlowdown { shard, factor } => {
+                write!(f, "shard-slowdown(shard {shard}, x{factor})")
+            }
+            FaultKind::ShardRestore { shard } => write!(f, "shard-restore(shard {shard})"),
+            FaultKind::ConsolePartition { shard } => {
+                write!(f, "console-partition(shard {shard})")
+            }
+            FaultKind::ConsoleHeal { shard } => write!(f, "console-heal(shard {shard})"),
+            FaultKind::HeartbeatLoss { shard, probability } => {
+                write!(f, "heartbeat-loss(shard {shard}, p={probability})")
+            }
+            FaultKind::PacketDuplication { shard, probability } => {
+                write!(f, "packet-duplication(shard {shard}, p={probability})")
+            }
+            FaultKind::Tamper { shard } => write!(f, "tamper(shard {shard})"),
+            FaultKind::KvEvictionStorm => write!(f, "kv-eviction-storm"),
+        }
+    }
+}
+
+/// One scheduled fault: what breaks, and when (on the fleet clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Fleet-clock instant the fault fires at.
+    pub at: SimInstant,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of fault events. Events are kept sorted by their
+/// fire time (stable, so same-instant events keep insertion order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty, hand-built plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one event, keeping the schedule sorted by fire time.
+    pub fn push(&mut self, at: SimInstant, kind: FaultKind) -> &mut Self {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    pub fn with(mut self, at: SimInstant, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// The scheduled events, in fire order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a seeded plan against `shards` shards over `[0, horizon)`.
+    ///
+    /// Every disruptive fault is paired with its recovery later in the
+    /// window (crash→recover, slowdown→restore, partition→heal,
+    /// loss/duplication→probability 0), so a long enough run always sees
+    /// both the break and the self-healing path. The same `(seed, shards,
+    /// horizon)` triple always yields the identical schedule.
+    pub fn seeded(seed: u64, shards: usize, horizon: SimDuration) -> Self {
+        let mut rng = DetRng::seed(seed ^ 0xC4A0_51A0_u64);
+        let mut plan = FaultPlan {
+            seed,
+            events: Vec::new(),
+        };
+        if shards == 0 || horizon == SimDuration::ZERO {
+            return plan;
+        }
+        let span = horizon.as_nanos();
+        // A paired fault occupies a window [start, end) inside the horizon.
+        let window = |rng: &mut DetRng| {
+            let start = rng.below(span.max(2) / 2);
+            let end = start + 1 + rng.below((span - start).max(2) - 1);
+            (
+                SimInstant::from_nanos(start),
+                SimInstant::from_nanos(end.min(span - 1)),
+            )
+        };
+        for shard in 0..shards {
+            // Each shard draws one disruptive fault family; the first shard
+            // always crashes so every seeded plan exercises re-queue.
+            let family = if shard == 0 { 0 } else { rng.below(5) };
+            match family {
+                0 => {
+                    let (start, end) = window(&mut rng);
+                    plan.push(start, FaultKind::ShardCrash { shard });
+                    plan.push(end, FaultKind::ShardRecover { shard });
+                }
+                1 => {
+                    let (start, end) = window(&mut rng);
+                    let factor = 2 + rng.below(6) as u32;
+                    plan.push(start, FaultKind::ShardSlowdown { shard, factor });
+                    plan.push(end, FaultKind::ShardRestore { shard });
+                }
+                2 => {
+                    let (start, end) = window(&mut rng);
+                    plan.push(start, FaultKind::ConsolePartition { shard });
+                    plan.push(end, FaultKind::ConsoleHeal { shard });
+                }
+                3 => {
+                    let (start, end) = window(&mut rng);
+                    let probability = 0.05 + rng.unit() * 0.25;
+                    plan.push(start, FaultKind::HeartbeatLoss { shard, probability });
+                    plan.push(
+                        end,
+                        FaultKind::HeartbeatLoss {
+                            shard,
+                            probability: 0.0,
+                        },
+                    );
+                }
+                _ => {
+                    let (start, end) = window(&mut rng);
+                    let probability = 0.1 + rng.unit() * 0.4;
+                    plan.push(start, FaultKind::PacketDuplication { shard, probability });
+                    plan.push(
+                        end,
+                        FaultKind::PacketDuplication {
+                            shard,
+                            probability: 0.0,
+                        },
+                    );
+                }
+            }
+        }
+        // One fleet-wide eviction storm somewhere in the middle half.
+        let storm = span / 4 + rng.below(span.max(2) / 2);
+        plan.push(SimInstant::from_nanos(storm), FaultKind::KvEvictionStorm);
+        plan
+    }
+}
+
+/// Walks a [`FaultPlan`] against a simulated clock: each call to
+/// [`FaultInjector::due`] returns (once) every event whose fire time has
+/// passed. The injector never reorders events.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cursor: usize,
+}
+
+impl FaultInjector {
+    /// Arms the injector with a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, cursor: 0 }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Events whose fire time is `<= now`, each returned exactly once, in
+    /// schedule order.
+    pub fn due(&mut self, now: SimInstant) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while let Some(event) = self.plan.events().get(self.cursor) {
+            if event.at > now {
+                break;
+            }
+            fired.push(*event);
+            self.cursor += 1;
+        }
+        fired
+    }
+
+    /// Fire time of the next un-fired event, if any.
+    pub fn next_at(&self) -> Option<SimInstant> {
+        self.plan.events().get(self.cursor).map(|e| e.at)
+    }
+
+    /// Number of events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.plan.len() - self.cursor
+    }
+
+    /// True when every scheduled event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimInstant {
+        SimInstant::from_nanos(ns)
+    }
+
+    #[test]
+    fn plans_keep_events_sorted_by_fire_time() {
+        let plan = FaultPlan::new()
+            .with(t(500), FaultKind::KvEvictionStorm)
+            .with(t(100), FaultKind::ShardCrash { shard: 0 })
+            .with(t(300), FaultKind::ShardRecover { shard: 0 });
+        let at: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(at, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn injector_fires_each_event_exactly_once_in_order() {
+        let plan = FaultPlan::new()
+            .with(t(100), FaultKind::ShardCrash { shard: 0 })
+            .with(t(200), FaultKind::ShardRecover { shard: 0 })
+            .with(t(400), FaultKind::KvEvictionStorm);
+        let mut injector = FaultInjector::new(plan);
+        assert_eq!(injector.next_at(), Some(t(100)));
+        assert!(injector.due(t(50)).is_empty());
+        let first = injector.due(t(250));
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].kind, FaultKind::ShardCrash { shard: 0 });
+        // Already-fired events never fire again.
+        assert!(injector.due(t(250)).is_empty());
+        assert_eq!(injector.remaining(), 1);
+        assert_eq!(injector.due(t(1_000)).len(), 1);
+        assert!(injector.exhausted());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_paired() {
+        let horizon = SimDuration::from_secs(10);
+        let a = FaultPlan::seeded(42, 4, horizon);
+        let b = FaultPlan::seeded(42, 4, horizon);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::seeded(43, 4, horizon);
+        assert_ne!(a, c, "different seeds should differ");
+        // Shard 0 always crashes, and the crash precedes its recovery.
+        let crash = a
+            .events()
+            .iter()
+            .position(|e| e.kind == FaultKind::ShardCrash { shard: 0 })
+            .expect("seeded plans always crash shard 0");
+        let recover = a
+            .events()
+            .iter()
+            .position(|e| e.kind == FaultKind::ShardRecover { shard: 0 })
+            .expect("crash must be paired with recovery");
+        assert!(crash < recover);
+        // Every event fires inside the horizon.
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| e.at.as_nanos() < horizon.as_nanos()));
+    }
+
+    #[test]
+    fn fault_kinds_render_for_traces() {
+        assert_eq!(
+            FaultKind::ShardSlowdown {
+                shard: 2,
+                factor: 4
+            }
+            .to_string(),
+            "shard-slowdown(shard 2, x4)"
+        );
+        assert_eq!(FaultKind::KvEvictionStorm.to_string(), "kv-eviction-storm");
+    }
+}

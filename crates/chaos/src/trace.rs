@@ -1,0 +1,147 @@
+//! Machine-readable chaos traces: every injection plus its observed
+//! consequence, renderable as JSON for CI artifacts.
+
+use guillotine_types::SimInstant;
+use std::fmt;
+
+/// One trace line: a fault fired (or a recovery action ran) and this is
+/// what the fleet did about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRecord {
+    /// Fleet-clock instant of the injection.
+    pub at: SimInstant,
+    /// The injected event (rendered [`FaultKind`](crate::FaultKind)).
+    pub event: String,
+    /// The observed consequence, as reported by the driver.
+    pub consequence: String,
+}
+
+/// An append-only log of chaos injections and their consequences. The JSON
+/// rendering is hand-rolled (the build is offline; no serde_json), matching
+/// the bench-JSON idiom.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosTrace {
+    records: Vec<ChaosRecord>,
+}
+
+impl ChaosTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChaosTrace::default()
+    }
+
+    /// Appends one injection record.
+    pub fn record(
+        &mut self,
+        at: SimInstant,
+        event: impl Into<String>,
+        consequence: impl Into<String>,
+    ) {
+        self.records.push(ChaosRecord {
+            at,
+            event: event.into(),
+            consequence: consequence.into(),
+        });
+    }
+
+    /// The recorded injections, in order.
+    pub fn records(&self) -> &[ChaosRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders the trace as a JSON array of `{at_ns, event, consequence}`
+    /// objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, record) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"at_ns\": {}, \"event\": \"{}\", \"consequence\": \"{}\"}}",
+                record.at.as_nanos(),
+                json_escape(&record.event),
+                json_escape(&record.consequence),
+            ));
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl fmt::Display for ChaosTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for record in &self.records {
+            writeln!(
+                f,
+                "[{}] {} -> {}",
+                record.at, record.event, record.consequence
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_render_as_json_and_text() {
+        let mut trace = ChaosTrace::new();
+        trace.record(
+            SimInstant::from_nanos(1_000),
+            "shard-crash(shard 0)",
+            "quarantined; 3 in-flight re-queued",
+        );
+        trace.record(
+            SimInstant::from_nanos(2_000),
+            "kv-eviction-storm",
+            "dropped 17 blocks",
+        );
+        assert_eq!(trace.len(), 2);
+        let json = trace.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"at_ns\": 1000"));
+        assert!(json.contains("shard-crash(shard 0)"));
+        assert!(json.trim_end().ends_with(']'));
+        let text = trace.to_string();
+        assert!(text.contains("kv-eviction-storm -> dropped 17 blocks"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        let mut trace = ChaosTrace::new();
+        trace.record(SimInstant::ZERO, "evil\"event\"", "line\nbreak");
+        let json = trace.to_json();
+        assert!(json.contains("evil\\\"event\\\""));
+        assert!(json.contains("line\\nbreak"));
+    }
+}

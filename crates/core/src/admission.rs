@@ -30,14 +30,17 @@
 //! the door keeps [`GuillotineFleet::set_queued_load`] in sync so routing
 //! counts waiting work as load.
 
-use crate::fleet::{FleetReport, FleetStats, GuillotineFleet, RoutingPolicy};
-use crate::serve::{ServeRequest, ServeResponse};
+use crate::fleet::{BatchAttempt, FleetReport, FleetStats, GuillotineFleet, RoutingPolicy};
+use crate::recovery::{DegradationMode, RecoveryConfig};
+use crate::serve::{
+    LatencyBreakdown, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,
+};
 use guillotine_admit::{
     AdmissionController, AdmissionDecision, AdmissionStats, Admitted, BatchPolicy, DeadlinePolicy,
     ShedPolicy,
 };
-use guillotine_types::{Result, SimDuration, SimInstant, TicketId};
-use std::collections::HashMap;
+use guillotine_types::{DetRng, Result, SimDuration, SimInstant, TicketId};
+use std::collections::{HashMap, HashSet};
 
 /// Sizing and backpressure configuration of a [`FrontDoor`].
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +98,25 @@ pub struct FrontDoor {
     /// with [`DeadlinePolicy::targeting_first_token`] by
     /// [`FrontDoor::ttft_deadline_aware`], but independently toggleable.
     ttft_deadlines: bool,
+    /// Self-healing budget; `None` keeps the door on the plain serve path
+    /// (byte-identical to `serve_batch`, as the equivalence proptest
+    /// demands).
+    recovery: Option<RecoveryConfig>,
+    /// Deterministic backoff-jitter source (seeded from the config).
+    recovery_rng: DetRng,
+    /// Tickets that have completed, by raw id — the idempotency layer: a
+    /// ticket can complete toward the caller at most once, however many
+    /// retries and hedges raced for it.
+    completed_tickets: HashSet<u32>,
+    /// Per-session arrival stamp of the most recently delivered response —
+    /// the session-order witness. Recovery must never let a later arrival
+    /// overtake an earlier one within a session.
+    session_progress: HashMap<u32, SimInstant>,
+    /// Where the door currently sits on the degradation ladder.
+    mode: DegradationMode,
+    /// Fleet-clock instant the current mode was entered (for per-mode
+    /// duration accounting).
+    mode_since: SimInstant,
 }
 
 impl FrontDoor {
@@ -113,6 +135,12 @@ impl FrontDoor {
             queued_by_shard,
             queued_placements: HashMap::new(),
             ttft_deadlines: false,
+            recovery: None,
+            recovery_rng: DetRng::seed(0),
+            completed_tickets: HashSet::new(),
+            session_progress: HashMap::new(),
+            mode: DegradationMode::Normal,
+            mode_since: SimInstant::ZERO,
         }
     }
 
@@ -147,6 +175,42 @@ impl FrontDoor {
     /// the default) and first-token instants (`true`).
     pub fn set_ttft_deadlines(&mut self, on: bool) {
         self.ttft_deadlines = on;
+    }
+
+    /// Turns on the self-healing layer: stranded requests are retried with
+    /// bounded jittered backoff, stragglers are timed out / hedged onto
+    /// another shard, ticket idempotency suppresses duplicate completions,
+    /// and the door walks the graceful-degradation ladder as fleet health
+    /// changes. Without this, the door serves on the plain path
+    /// (byte-identical to `serve_batch`).
+    pub fn enable_recovery(&mut self, config: RecoveryConfig) {
+        self.recovery_rng = DetRng::seed(config.seed);
+        self.recovery = Some(config);
+        self.mode = DegradationMode::Normal;
+        self.mode_since = self.fleet.clock.now();
+    }
+
+    /// Builder-style [`FrontDoor::enable_recovery`].
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> Self {
+        self.enable_recovery(config);
+        self
+    }
+
+    /// The active recovery configuration, if any.
+    pub fn recovery_config(&self) -> Option<&RecoveryConfig> {
+        self.recovery.as_ref()
+    }
+
+    /// Where the door currently sits on the degradation ladder (always
+    /// `Normal` without recovery enabled).
+    pub fn degradation_mode(&self) -> DegradationMode {
+        self.mode
+    }
+
+    /// True when the degradation ladder has suspended streaming SLOs
+    /// (deadlines revert to completion-judged, TTFT samples pause).
+    pub fn streaming_suspended(&self) -> bool {
+        self.recovery.is_some() && self.mode >= DegradationMode::DisableStreaming
     }
 
     /// The fleet behind the door.
@@ -213,6 +277,22 @@ impl FrontDoor {
         arrival: SimInstant,
     ) -> AdmissionDecision {
         self.fleet.clock.advance_to(arrival);
+        if self.recovery.is_some() {
+            self.update_ladder();
+            let refuse = match self.mode {
+                DegradationMode::FailClosed => true,
+                DegradationMode::ShedLowPriority | DegradationMode::DisableStreaming => {
+                    request.priority == ServePriority::Batch
+                }
+                DegradationMode::Normal => false,
+            };
+            if refuse {
+                self.fleet.recovery_mut().ladder_shed += 1;
+                return AdmissionDecision::Refused {
+                    depth: self.controller.depth(),
+                };
+            }
+        }
         let session = request.session;
         let class = request.priority.class();
         let deadline = deadline
@@ -254,8 +334,9 @@ impl FrontDoor {
 
     /// Forms and serves at most one batch; `None` when the former is not
     /// ready. [`FrontDoor::play`] uses this to interleave newly-passed
-    /// arrivals between consecutive batches.
-    fn step(&mut self) -> Result<Option<Vec<ServeResponse>>> {
+    /// arrivals between consecutive batches, and the chaos driver
+    /// (`crate::chaos`) to interleave fault injections.
+    pub(crate) fn step(&mut self) -> Result<Option<Vec<ServeResponse>>> {
         match self.controller.form(self.fleet.clock.now()) {
             Some(batch) => Ok(Some(self.serve(batch)?)),
             None => Ok(None),
@@ -317,6 +398,9 @@ impl FrontDoor {
     /// or against the first-token instant when the door judges TTFT
     /// deadlines.
     fn serve(&mut self, batch: Vec<Admitted<ServeRequest>>) -> Result<Vec<ServeResponse>> {
+        if self.recovery.is_some() {
+            return self.serve_recoverable(batch);
+        }
         let mut stamps = Vec::with_capacity(batch.len());
         let mut requests = Vec::with_capacity(batch.len());
         for admitted in batch {
@@ -346,6 +430,216 @@ impl FrontDoor {
             self.controller.record_served(stamp, achieved);
         }
         Ok(responses)
+    }
+
+    /// The self-healing serve path: dispatches through
+    /// [`GuillotineFleet::serve_batch_attempt`], retries stranded requests
+    /// with bounded jittered backoff *inside the batch* (so no later batch
+    /// can overtake them — per-session prefix order is preserved by
+    /// construction), re-dispatches timed-out/straggling responses to a
+    /// hedge shard, refuses what exhausts its budget (never loses it), and
+    /// settles the same accounting as the plain path plus the idempotency
+    /// and session-order witnesses.
+    fn serve_recoverable(
+        &mut self,
+        batch: Vec<Admitted<ServeRequest>>,
+    ) -> Result<Vec<ServeResponse>> {
+        // The caller only routes here with recovery enabled; the fallback
+        // keeps this hot path panic-free.
+        let cfg = self.recovery.unwrap_or_else(RecoveryConfig::disabled);
+        let mut stamps = Vec::with_capacity(batch.len());
+        let mut requests = Vec::with_capacity(batch.len());
+        for admitted in batch {
+            self.note_removed(admitted.stamp.ticket);
+            stamps.push((admitted.stamp, admitted.dispatched));
+            requests.push(admitted.payload);
+        }
+        self.push_queued_load();
+        // Hedging and refusal-synthesis need the request after the fleet
+        // consumed it.
+        let copies: Vec<ServeRequest> = requests.clone();
+        let mut attempt = self.fleet.serve_batch_attempt(requests);
+        let mut failed = std::mem::take(&mut attempt.failed);
+        let mut round = 0u32;
+        while !failed.is_empty() && round < cfg.max_retries {
+            round += 1;
+            self.fleet.recovery_mut().retries += failed.len() as u64;
+            let backoff = cfg.backoff_base.saturating_mul(1u64 << (round - 1).min(16));
+            let jitter_bound = cfg.backoff_jitter.as_nanos();
+            let jitter = if jitter_bound > 0 {
+                SimDuration::from_nanos(self.recovery_rng.below(jitter_bound + 1))
+            } else {
+                SimDuration::ZERO
+            };
+            self.fleet.clock.advance(backoff.saturating_add(jitter));
+            let (slots, retry_requests): (Vec<usize>, Vec<ServeRequest>) =
+                failed.into_iter().unzip();
+            let retry = self.fleet.serve_batch_attempt(retry_requests);
+            for (j, (response, shard)) in retry.responses.into_iter().zip(retry.shards).enumerate()
+            {
+                if let Some(response) = response {
+                    attempt.responses[slots[j]] = Some(response);
+                    attempt.shards[slots[j]] = shard;
+                }
+            }
+            failed = retry
+                .failed
+                .into_iter()
+                .map(|(j, request)| (slots[j], request))
+                .collect();
+        }
+        if !failed.is_empty() {
+            // Retry budget exhausted: fail closed with an explicit refusal
+            // — the request is answered, never silently dropped.
+            self.fleet.recovery_mut().retries_exhausted += failed.len() as u64;
+            for (slot, request) in failed {
+                attempt.responses[slot] = Some(self.refusal_for(&request));
+            }
+        }
+        if cfg.serve_timeout.is_some() || cfg.hedge_threshold.is_some() {
+            self.timeout_and_hedge(&cfg, &mut attempt, &copies);
+        }
+        self.update_ladder();
+        let completed = self.fleet.clock.now();
+        let streaming = !self.streaming_suspended();
+        let mut responses = Vec::with_capacity(attempt.responses.len());
+        for (slot, maybe) in attempt.responses.into_iter().enumerate() {
+            responses.push(match maybe {
+                Some(response) => response,
+                // Unreachable (every slot is served, retried into, or
+                // refused above); a refusal keeps the path panic-free.
+                None => self.refusal_for(&copies[slot]),
+            });
+        }
+        for ((stamp, dispatched), response) in stamps.iter().zip(responses.iter_mut()) {
+            let wait = dispatched.duration_since(stamp.arrival);
+            response.latency.queue = response.latency.queue.saturating_add(wait);
+            let ttft = response.latency.time_to_first_token;
+            if streaming && ttft > SimDuration::ZERO {
+                self.controller.record_ttft(wait.saturating_add(ttft));
+            }
+            let achieved = if self.ttft_deadlines && streaming && ttft > SimDuration::ZERO {
+                dispatched.saturating_add(ttft)
+            } else {
+                completed
+            };
+            self.controller.record_served(stamp, achieved);
+            // Ticket idempotency: a ticket completes toward the caller at
+            // most once. The insert returning false would mean a second
+            // completion slipped through — counted, asserted zero by the
+            // e19 bench and the chaos proptests.
+            if !self.completed_tickets.insert(stamp.ticket.raw()) {
+                self.fleet.recovery_mut().double_serves += 1;
+            }
+            // Session-order witness: within a session, delivery order must
+            // follow arrival order, whatever re-queueing and hedging did.
+            let session = response.session.raw();
+            match self.session_progress.get(&session) {
+                Some(&last) if stamp.arrival < last => {
+                    self.fleet.recovery_mut().session_reorderings += 1;
+                }
+                _ => {
+                    self.session_progress.insert(session, stamp.arrival);
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Re-dispatches straggling responses: past the serve timeout the
+    /// original is considered failed and unconditionally replaced by a
+    /// re-serve on the hedge shard; past the (smaller) hedge threshold the
+    /// faster of the two completions wins. Either way exactly one
+    /// completion reaches the caller — the loser is suppressed.
+    fn timeout_and_hedge(
+        &mut self,
+        cfg: &RecoveryConfig,
+        attempt: &mut BatchAttempt,
+        copies: &[ServeRequest],
+    ) {
+        for (slot, copy) in copies.iter().enumerate() {
+            let Some(primary) = attempt.shards[slot] else {
+                continue;
+            };
+            let Some(current) = attempt.responses[slot].as_ref() else {
+                continue;
+            };
+            if !current.delivered() {
+                // Refusals and escalations are verdicts, not stragglers.
+                continue;
+            }
+            let latency = current.latency.total();
+            let timed_out = cfg.serve_timeout.is_some_and(|t| latency > t);
+            let hedge = !timed_out && cfg.hedge_threshold.is_some_and(|t| latency > t);
+            if !timed_out && !hedge {
+                continue;
+            }
+            let Some(target) = self.fleet.hedge_target(primary) else {
+                continue;
+            };
+            {
+                let recovery = self.fleet.recovery_mut();
+                if timed_out {
+                    recovery.timeouts += 1;
+                } else {
+                    recovery.hedges += 1;
+                }
+            }
+            let Ok(mut second) = self.fleet.serve_on_shard(target, vec![copy.clone()]) else {
+                continue;
+            };
+            let Some(second) = second.pop() else {
+                continue;
+            };
+            let faster = second.latency.total() < latency;
+            let recovery = self.fleet.recovery_mut();
+            recovery.duplicates_suppressed += 1;
+            if timed_out || faster {
+                if hedge && faster {
+                    recovery.hedges_won += 1;
+                }
+                attempt.responses[slot] = Some(second);
+                attempt.shards[slot] = Some(target);
+            }
+        }
+    }
+
+    /// A synthesized fail-closed refusal for a request whose retry budget
+    /// ran out: typed outcome, the home shard's current isolation, no
+    /// content.
+    fn refusal_for(&self, request: &ServeRequest) -> ServeResponse {
+        let home = self.fleet.home_shard(request.session);
+        ServeResponse {
+            session: request.session,
+            outcome: ServeOutcomeKind::Refused,
+            response: String::new(),
+            verdicts: Vec::new(),
+            latency: LatencyBreakdown::default(),
+            kv_hit: false,
+            isolation: self.fleet.shard(home).isolation_level(),
+        }
+    }
+
+    /// Re-derives the degradation mode from live fleet health and settles
+    /// per-mode time accounting on transitions.
+    fn update_ladder(&mut self) {
+        let Some(cfg) = self.recovery else {
+            return;
+        };
+        let mode = DegradationMode::from_health(
+            self.fleet.healthy_count(),
+            self.fleet.shard_count(),
+            &cfg,
+        );
+        if mode != self.mode {
+            let now = self.fleet.clock.now();
+            let held = now.duration_since(self.mode_since);
+            let rank = self.mode.rank();
+            let recovery = self.fleet.recovery_mut();
+            recovery.degraded[rank] = recovery.degraded[rank].saturating_add(held);
+            self.mode = mode;
+            self.mode_since = now;
+        }
     }
 
     /// Charges a freshly-queued request to the shard `LeastLoaded` would
@@ -388,6 +682,13 @@ impl FrontDoor {
     pub fn stats(&self) -> FleetStats {
         let mut stats = self.fleet.stats();
         stats.admission = Some(self.controller.stats());
+        if self.recovery.is_some() {
+            // Charge the still-open residence in the current mode, so
+            // per-mode durations always sum to elapsed time.
+            let held = self.fleet.clock.now().duration_since(self.mode_since);
+            let rank = self.mode.rank();
+            stats.recovery.degraded[rank] = stats.recovery.degraded[rank].saturating_add(held);
+        }
         stats
     }
 

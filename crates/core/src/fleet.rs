@@ -167,6 +167,85 @@ pub struct ShardStats {
     pub outcomes: OutcomeHistogram,
 }
 
+/// Self-healing and chaos-recovery counters, shared between the fleet
+/// (crash/re-queue/probation side) and the
+/// [`FrontDoor`](crate::admission::FrontDoor) (retry/hedge/timeout/ladder
+/// side). Everything is measured on the fleet's simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Shard crashes injected (chaos or operator).
+    pub crashes: u64,
+    /// Crashed shards brought back through [`GuillotineFleet::recover_shard`].
+    pub recoveries: u64,
+    /// Total crash-to-recovery time across all samples (MTTR numerator).
+    pub mttr_total: SimDuration,
+    /// Number of completed crash→recovery cycles (MTTR denominator).
+    pub mttr_samples: u64,
+    /// In-flight requests re-queued off a shard that crashed mid-batch.
+    pub requeued_in_flight: u64,
+    /// Failed requests re-dispatched by the front door's retry loop.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget (refused, never lost).
+    pub retries_exhausted: u64,
+    /// Responses that exceeded the serve timeout and were re-dispatched.
+    pub timeouts: u64,
+    /// Hedged re-dispatches launched past the hedge latency threshold.
+    pub hedges: u64,
+    /// Hedges whose second serve beat the original's latency.
+    pub hedges_won: u64,
+    /// Redundant completions suppressed by ticket idempotency (hedge
+    /// losers, late timed-out originals) — never delivered twice.
+    pub duplicates_suppressed: u64,
+    /// Tickets that completed twice *to the caller*. The idempotency layer
+    /// exists to keep this at zero; the e19 bench asserts it.
+    pub double_serves: u64,
+    /// Responses delivered to a session out of submission order. Re-queue,
+    /// retry and hedging must keep this at zero; the e19 bench asserts it.
+    pub session_reorderings: u64,
+    /// Sub-batches served by shards while on post-recovery probation.
+    pub probation_batches: u64,
+    /// Requests routed away from a probation shard over its traffic cap.
+    pub probation_deferrals: u64,
+    /// Requests refused/shed by the degradation ladder at the door.
+    pub ladder_shed: u64,
+    /// Simulated time spent in each degradation mode, indexed by
+    /// [`DegradationMode`](crate::recovery::DegradationMode) rank
+    /// (normal, shed-low-priority, streaming-disabled, fail-closed).
+    pub degraded: [SimDuration; 4],
+}
+
+impl RecoveryStats {
+    /// Mean time to recovery across completed crash→recovery cycles
+    /// (zero when nothing has recovered yet).
+    pub fn mean_mttr(&self) -> SimDuration {
+        self.mttr_total
+            .as_nanos()
+            .checked_div(self.mttr_samples)
+            .map_or(SimDuration::ZERO, SimDuration::from_nanos)
+    }
+
+    /// Total simulated time spent in any degraded mode (everything past
+    /// normal on the ladder).
+    pub fn degraded_time(&self) -> SimDuration {
+        self.degraded[1..]
+            .iter()
+            .fold(SimDuration::ZERO, |acc, d| acc.saturating_add(*d))
+    }
+
+    /// True when any recovery machinery has fired (used to keep reports
+    /// quiet for fleets that never saw chaos).
+    pub fn is_active(&self) -> bool {
+        self.crashes > 0
+            || self.retries > 0
+            || self.timeouts > 0
+            || self.hedges > 0
+            || self.requeued_in_flight > 0
+            || self.ladder_shed > 0
+            || self.probation_batches > 0
+            || self.duplicates_suppressed > 0
+    }
+}
+
 /// Aggregate statistics across the whole fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetStats {
@@ -193,6 +272,9 @@ pub struct FleetStats {
     /// [`FrontDoor`](crate::admission::FrontDoor) (`None` for fleets driven
     /// directly through `serve_batch`).
     pub admission: Option<AdmissionStats>,
+    /// Self-healing counters: crashes, MTTR, re-queues, retries, hedges,
+    /// probation and degraded-mode time.
+    pub recovery: RecoveryStats,
 }
 
 impl FleetStats {
@@ -297,6 +379,30 @@ impl FleetReport {
             ),
             _ => String::new(),
         };
+        let recovery = &self.stats.recovery;
+        let recovery_line = if recovery.is_active() {
+            format!(
+                "recovery                 : {} crashes, {} recovered (mean MTTR {}), {} in-flight re-queued\nretries / hedges         : {} retries ({} exhausted), {} timeouts, {} hedges ({} won), {} duplicates suppressed\nprobation / ladder       : {} probation sub-batches, {} deferred over cap, {} ladder-shed, degraded {}\nserve integrity          : {} double-serves, {} session reorderings\n",
+                recovery.crashes,
+                recovery.recoveries,
+                recovery.mean_mttr(),
+                recovery.requeued_in_flight,
+                recovery.retries,
+                recovery.retries_exhausted,
+                recovery.timeouts,
+                recovery.hedges,
+                recovery.hedges_won,
+                recovery.duplicates_suppressed,
+                recovery.probation_batches,
+                recovery.probation_deferrals,
+                recovery.ladder_shed,
+                recovery.degraded_time(),
+                recovery.double_serves,
+                recovery.session_reorderings,
+            )
+        } else {
+            String::new()
+        };
         let admission_line = match &self.stats.admission {
             Some(a) => format!(
                 "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n",
@@ -318,7 +424,7 @@ impl FleetReport {
             None => String::new(),
         };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -331,6 +437,7 @@ impl FleetReport {
             self.stats.severed_streams(),
             kv_line,
             ttft_line,
+            recovery_line,
             admission_line,
         )
     }
@@ -342,8 +449,37 @@ struct Shard {
     /// Whether this shard's KV entries have already been dropped for its
     /// current quarantine (so repeated batch refreshes invalidate once).
     kv_invalidated: bool,
+    /// Whether the shard's serving process is crashed (chaos fault). A
+    /// crashed shard stays quarantined regardless of its isolation level
+    /// until [`GuillotineFleet::recover_shard`] brings it back.
+    crashed: bool,
+    /// Probation batches remaining after a recovery: while positive, the
+    /// shard takes at most `probation_cap` requests per batch (it rejoined
+    /// cold — its KV was dropped — and must not absorb full traffic at
+    /// once).
+    probation: u32,
+    /// Serving-latency multiplier (1 = healthy). Set by the chaos engine's
+    /// slowdown fault; the attempt driver stretches the shard's clock and
+    /// response latencies by it.
+    slow_factor: u32,
     routed: u64,
     outcomes: OutcomeHistogram,
+}
+
+/// The result of one fault-tolerant fleet batch
+/// ([`GuillotineFleet::serve_batch_attempt`]): per-request responses where
+/// serving succeeded, plus the requests a crash or error stranded — handed
+/// back instead of lost, so the admission tier can re-queue them.
+#[derive(Debug)]
+pub struct BatchAttempt {
+    /// One slot per submitted request, in submission order; `None` where
+    /// the request failed (its entry is in `failed`).
+    pub responses: Vec<Option<ServeResponse>>,
+    /// The shard that served each successful slot (`None` for failed).
+    pub shards: Vec<Option<usize>>,
+    /// `(submission index, request)` for every stranded request, sorted by
+    /// submission index — session-prefix order within each session.
+    pub failed: Vec<(usize, ServeRequest)>,
 }
 
 /// A declarative builder for [`GuillotineFleet`].
@@ -352,6 +488,7 @@ pub struct FleetBuilder {
     shard_builder: Option<Box<dyn Fn(usize) -> DeploymentBuilder>>,
     kv: Option<KvCacheConfig>,
     invalidate_kv_on_quarantine: bool,
+    probation: Option<(u32, usize)>,
 }
 
 impl Default for FleetBuilder {
@@ -368,7 +505,17 @@ impl FleetBuilder {
             shard_builder: None,
             kv: None,
             invalidate_kv_on_quarantine: false,
+            probation: None,
         }
+    }
+
+    /// Configures the cold-KV probation a recovered shard rejoins through:
+    /// for `batches` fleet batches it accepts at most `per_batch_cap`
+    /// requests per batch (defaults: 3 batches, cap 2). `batches == 0`
+    /// disables probation.
+    pub fn with_probation(mut self, batches: u32, per_batch_cap: usize) -> Self {
+        self.probation = Some((batches, per_batch_cap));
+        self
     }
 
     /// Sets the number of shards.
@@ -420,12 +567,17 @@ impl FleetBuilder {
 
     /// Assembles the fleet.
     pub fn build(self) -> Result<GuillotineFleet> {
-        GuillotineFleet::assemble(
+        let mut fleet = GuillotineFleet::assemble(
             self.config,
             self.shard_builder,
             self.kv,
             self.invalidate_kv_on_quarantine,
-        )
+        )?;
+        if let Some((batches, cap)) = self.probation {
+            fleet.probation_batches = batches;
+            fleet.probation_cap = cap;
+        }
+        Ok(fleet)
     }
 }
 
@@ -446,6 +598,17 @@ pub struct GuillotineFleet {
     invalidate_kv_on_quarantine: bool,
     rehomed_kv_hits: u64,
     rehomed_kv_misses: u64,
+    /// Crashes scheduled by the chaos engine: `(shard, fires_at)` on the
+    /// fleet clock. A crash firing inside a shard's serving window loses
+    /// that shard's in-flight sub-batch (the attempt driver re-queues it).
+    pending_crashes: Vec<(usize, SimInstant)>,
+    /// Per-shard crash start instants, for MTTR sampling.
+    crash_since: Vec<Option<SimInstant>>,
+    /// How many post-recovery batches a shard spends on probation.
+    probation_batches: u32,
+    /// Max requests per batch a probation shard accepts.
+    probation_cap: usize,
+    recovery: RecoveryStats,
     /// Fleet-level simulated clock: advances per batch by the slowest
     /// shard's delta, because shards serve concurrently on separate
     /// hardware.
@@ -508,6 +671,9 @@ impl GuillotineFleet {
                 deployment,
                 quarantined: false,
                 kv_invalidated: false,
+                crashed: false,
+                probation: 0,
+                slow_factor: 1,
                 routed: 0,
                 outcomes: OutcomeHistogram::default(),
             });
@@ -524,6 +690,11 @@ impl GuillotineFleet {
             invalidate_kv_on_quarantine,
             rehomed_kv_hits: 0,
             rehomed_kv_misses: 0,
+            pending_crashes: Vec::new(),
+            crash_since: vec![None; shard_count],
+            probation_batches: 3,
+            probation_cap: 2,
+            recovery: RecoveryStats::default(),
             clock: SimClock::new(),
         })
     }
@@ -575,6 +746,131 @@ impl GuillotineFleet {
     /// The fleet-shared KV tier, if one was configured.
     pub fn kv_tier(&self) -> Option<&Arc<KvTier>> {
         self.kv.as_ref()
+    }
+
+    /// Self-healing counters (crashes, MTTR, retries, hedges, probation).
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Mutable access for the front-door recovery layer (same crate only):
+    /// the fleet owns the single accumulator so `FleetStats` never has to
+    /// merge two half-views.
+    pub(crate) fn recovery_mut(&mut self) -> &mut RecoveryStats {
+        &mut self.recovery
+    }
+
+    /// Whether shard `index`'s serving process is crashed.
+    pub fn is_crashed(&self, index: usize) -> bool {
+        self.shards[index].crashed
+    }
+
+    /// Whether shard `index` is serving under post-recovery probation.
+    pub fn in_probation(&self, index: usize) -> bool {
+        self.shards[index].probation > 0
+    }
+
+    /// Number of shards that are neither quarantined nor crashed — the
+    /// health signal the degradation ladder reads.
+    pub fn healthy_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| !s.quarantined && !s.crashed)
+            .count()
+    }
+
+    /// Crashes shard `index` immediately: it is quarantined and takes no
+    /// traffic until [`GuillotineFleet::recover_shard`]. Idempotent.
+    pub fn inject_crash(&mut self, index: usize) {
+        let now = self.clock.now();
+        self.crash_now(index, now);
+    }
+
+    /// Schedules a crash of shard `index` at fleet-clock instant `at`. A
+    /// crash firing inside the shard's serving window loses the in-flight
+    /// sub-batch: [`GuillotineFleet::serve_batch_attempt`] reports those
+    /// requests as failed (in submission order) for re-queueing.
+    pub fn schedule_crash(&mut self, index: usize, at: SimInstant) {
+        if at <= self.clock.now() {
+            self.crash_now(index, at);
+        } else {
+            self.pending_crashes.push((index, at));
+        }
+    }
+
+    fn crash_now(&mut self, index: usize, at: SimInstant) {
+        if self.shards[index].crashed {
+            return;
+        }
+        self.shards[index].crashed = true;
+        self.recovery.crashes += 1;
+        if self.crash_since[index].is_none() {
+            self.crash_since[index] = Some(at);
+        }
+        self.quarantine_shard(index);
+        self.sync_datacenter();
+    }
+
+    pub(crate) fn apply_due_crashes(&mut self) {
+        let now = self.clock.now();
+        let mut due = Vec::new();
+        self.pending_crashes.retain(|&(shard, at)| {
+            if at <= now {
+                due.push((shard, at));
+                false
+            } else {
+                true
+            }
+        });
+        for (shard, at) in due {
+            self.crash_now(shard, at);
+        }
+    }
+
+    /// Brings a crashed shard back. It rejoins **cold**: its KV blocks are
+    /// dropped and it serves under probation (bounded per-batch traffic)
+    /// for the configured number of batches before taking full load. The
+    /// crash→recovery time is sampled into MTTR. Returns whether the shard
+    /// actually rejoined (its isolation level must still allow serving).
+    pub fn recover_shard(&mut self, index: usize) -> bool {
+        if !self.shards[index].crashed {
+            return !self.shards[index].quarantined;
+        }
+        self.shards[index].crashed = false;
+        self.recovery.recoveries += 1;
+        if let Some(since) = self.crash_since[index].take() {
+            let downtime = self.clock.now().duration_since(since);
+            self.recovery.mttr_total = self.recovery.mttr_total.saturating_add(downtime);
+            self.recovery.mttr_samples += 1;
+        }
+        self.begin_probation(index);
+        self.reinstate(index)
+    }
+
+    /// Puts a shard on cold-KV probation: its cached blocks are dropped
+    /// (whatever it held is stale or untrusted after the outage) and it
+    /// takes at most `probation_cap` requests per batch for the next
+    /// `probation_batches` batches.
+    pub fn begin_probation(&mut self, index: usize) {
+        if self.probation_batches > 0 {
+            self.shards[index].probation = self.probation_batches;
+        }
+        if let Some(tier) = &self.kv {
+            tier.invalidate_shard(self.shards[index].deployment.config().machine.raw());
+        }
+    }
+
+    /// Sets a serving-latency multiplier on a shard (slowdown/hang chaos
+    /// fault; `factor == 0` is treated as 1). Only the attempt driver
+    /// ([`GuillotineFleet::serve_batch_attempt`], used by recovery-enabled
+    /// front doors) applies it.
+    pub fn set_slowdown(&mut self, index: usize, factor: u32) {
+        self.shards[index].slow_factor = factor.max(1);
+    }
+
+    /// Clears a shard's slowdown.
+    pub fn clear_slowdown(&mut self, index: usize) {
+        self.shards[index].slow_factor = 1;
     }
 
     /// A session's stable home shard — the session-affinity hash target,
@@ -651,10 +947,11 @@ impl GuillotineFleet {
     /// `no-reinstate-without-quorum` invariant: the fleet cannot lift a
     /// quarantine on its own say-so.
     pub fn reinstate(&mut self, index: usize) -> bool {
-        let healthy = self.shards[index]
-            .deployment
-            .isolation_level()
-            .ports_available();
+        let healthy = !self.shards[index].crashed
+            && self.shards[index]
+                .deployment
+                .isolation_level()
+                .ports_available();
         if healthy {
             self.shards[index].quarantined = false;
             self.shards[index].kv_invalidated = false;
@@ -740,7 +1037,41 @@ impl GuillotineFleet {
             sub_batches[shard].push(idx);
             rehomed.push(was_rehomed);
         }
+        self.enforce_probation_caps(&mut sub_batches);
         (sub_batches, rehomed)
+    }
+
+    /// Caps a probation shard's sub-batch at `probation_cap` requests,
+    /// deterministically deferring the overflow to the next fully-trusted
+    /// shard (probe order). With no trusted alternative the overflow stays
+    /// — a cold shard is still better than refusing traffic.
+    fn enforce_probation_caps(&mut self, sub_batches: &mut [Vec<usize>]) {
+        if self.probation_cap == 0 {
+            return;
+        }
+        let n = self.shards.len();
+        for idx in 0..n {
+            if self.shards[idx].probation == 0 || sub_batches[idx].len() <= self.probation_cap {
+                continue;
+            }
+            let overflow = sub_batches[idx].split_off(self.probation_cap);
+            let target = (0..n).map(|probe| (idx + 1 + probe) % n).find(|&c| {
+                c != idx && !self.shards[c].quarantined && self.shards[c].probation == 0
+            });
+            match target {
+                Some(target) => {
+                    let moved = overflow.len() as u64;
+                    self.recovery.probation_deferrals += moved;
+                    self.shards[idx].routed = self.shards[idx].routed.saturating_sub(moved);
+                    self.shards[target].routed += moved;
+                    sub_batches[target].extend(overflow);
+                    // Keep the target's sub-batch in submission order, so
+                    // same-session requests stay ordered within the batch.
+                    sub_batches[target].sort_unstable();
+                }
+                None => sub_batches[idx].extend(overflow),
+            }
+        }
     }
 
     /// Moves one shard's responses into their submission-order output slots,
@@ -810,6 +1141,12 @@ impl GuillotineFleet {
     /// without an explicit [`GuillotineFleet::reinstate`] call.
     fn refresh_quarantine(&mut self) {
         for index in 0..self.shards.len() {
+            // A crashed shard stays quarantined no matter what its console
+            // says: its serving process is gone, not its isolation level.
+            if self.shards[index].crashed {
+                self.quarantine_shard(index);
+                continue;
+            }
             if self.shards[index]
                 .deployment
                 .isolation_level()
@@ -977,6 +1314,187 @@ impl GuillotineFleet {
         })
     }
 
+    /// Serves a batch like [`GuillotineFleet::serve_batch`], but **never
+    /// loses a request to a failure**: instead of surfacing a shard error
+    /// and discarding its sub-batch, the failed requests come back in the
+    /// attempt (in submission order — session-prefix order within each
+    /// session) so the caller can re-queue or retry them. This is the
+    /// driver recovery-enabled front doors dispatch through.
+    ///
+    /// On top of the plain driver it also: fires scheduled crashes (a crash
+    /// inside a shard's serving window loses that shard's in-flight
+    /// sub-batch), applies slowdown factors to serving time and response
+    /// latencies, and burns down probation counters.
+    pub fn serve_batch_attempt(&mut self, requests: Vec<ServeRequest>) -> BatchAttempt {
+        let total = requests.len();
+        let mut attempt = BatchAttempt {
+            responses: std::iter::repeat_with(|| None).take(total).collect(),
+            shards: vec![None; total],
+            failed: Vec::new(),
+        };
+        if total == 0 {
+            return attempt;
+        }
+        self.apply_due_crashes();
+        self.refresh_quarantine();
+        let (sub_batches, rehomed) = self.plan_batch(&requests);
+        let before = self.shard_clocks();
+        let fleet_before = self.clock.now();
+        let mut slots: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
+        let mut participants = Vec::new();
+        for shard_idx in 0..self.shards.len() {
+            let indices = &sub_batches[shard_idx];
+            if indices.is_empty() {
+                continue;
+            }
+            let batch: Vec<ServeRequest> = indices
+                .iter()
+                // audit:allow(no-panic, plan_batch partitions 0..len into disjoint index sets, so each slot is taken exactly once)
+                .map(|&i| slots[i].take().expect("each request routed once"))
+                .collect();
+            if self.shards[shard_idx].crashed {
+                // Routing only lands on a crashed shard when every shard is
+                // down; the requests fail (and the retry loop will either
+                // find a recovered shard or exhaust into a refusal).
+                for (&i, request) in indices.iter().zip(batch) {
+                    attempt.failed.push((i, request));
+                }
+                continue;
+            }
+            // Keep a copy: if the shard crashes mid-serve or errors, the
+            // responses are lost and these requests must be re-queued.
+            let kept: Vec<ServeRequest> = batch.clone();
+            let result = self.shards[shard_idx].deployment.serve_batch(batch);
+            participants.push(shard_idx);
+            let factor = u64::from(self.shards[shard_idx].slow_factor.max(1));
+            if factor > 1 {
+                // A slowed shard takes `factor`× the serving time: stretch
+                // its clock by the extra so the fleet clock (max of shard
+                // deltas) and every latency sees the slowdown.
+                let delta = self.shards[shard_idx]
+                    .deployment
+                    .clock
+                    .now()
+                    .duration_since(before[shard_idx]);
+                self.shards[shard_idx]
+                    .deployment
+                    .clock
+                    .advance(delta.saturating_mul(factor - 1));
+            }
+            match result {
+                Ok(mut responses) => {
+                    if factor > 1 {
+                        for response in &mut responses {
+                            response.latency.inference =
+                                response.latency.inference.saturating_mul(factor);
+                            response.latency.time_to_first_token =
+                                response.latency.time_to_first_token.saturating_mul(factor);
+                        }
+                    }
+                    // Did a scheduled crash fire inside this shard's
+                    // serving window? Then it served — and died before
+                    // anything came back: the whole sub-batch is lost.
+                    let delta = self.shards[shard_idx]
+                        .deployment
+                        .clock
+                        .now()
+                        .duration_since(before[shard_idx]);
+                    let window_end = fleet_before.saturating_add(delta);
+                    let mid_crash = self
+                        .pending_crashes
+                        .iter()
+                        .position(|&(s, at)| s == shard_idx && at <= window_end);
+                    if let Some(pos) = mid_crash {
+                        let (_, at) = self.pending_crashes.remove(pos);
+                        self.crash_now(shard_idx, at);
+                        self.recovery.requeued_in_flight += kept.len() as u64;
+                        for (&i, request) in indices.iter().zip(kept) {
+                            attempt.failed.push((i, request));
+                        }
+                    } else {
+                        if self.shards[shard_idx].probation > 0 {
+                            self.shards[shard_idx].probation -= 1;
+                            self.recovery.probation_batches += 1;
+                        }
+                        self.place_responses(shard_idx, indices, responses, &mut attempt.responses);
+                        for &i in indices {
+                            attempt.shards[i] = Some(shard_idx);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A hard serving error: the sub-batch is stranded, not
+                    // lost — hand it back for retry on another shard.
+                    for (&i, request) in indices.iter().zip(kept) {
+                        attempt.failed.push((i, request));
+                    }
+                }
+            }
+        }
+        if self.kv.is_some() {
+            for (response, &was_rehomed) in attempt.responses.iter().zip(&rehomed) {
+                let Some(response) = response else { continue };
+                if !was_rehomed || response.latency.inference == SimDuration::ZERO {
+                    continue;
+                }
+                if response.kv_hit {
+                    self.rehomed_kv_hits += 1;
+                } else {
+                    self.rehomed_kv_misses += 1;
+                }
+            }
+        }
+        self.finalize_batch(&participants, &before);
+        attempt.failed.sort_by_key(|&(i, _)| i);
+        attempt
+    }
+
+    /// Serves a small batch directly on one named healthy shard — the
+    /// hedged re-dispatch path. Errors if the target is quarantined or
+    /// crashed; the fleet clock advances by the shard's serving delta as
+    /// usual.
+    pub fn serve_on_shard(
+        &mut self,
+        index: usize,
+        requests: Vec<ServeRequest>,
+    ) -> Result<Vec<ServeResponse>> {
+        if index >= self.shards.len() {
+            return Err(GuillotineError::config("hedge target shard out of range"));
+        }
+        if self.shards[index].quarantined || self.shards[index].crashed {
+            return Err(GuillotineError::config(
+                "hedge target shard is quarantined or crashed",
+            ));
+        }
+        let before = self.shard_clocks();
+        self.shards[index].routed += requests.len() as u64;
+        let result = self.shards[index].deployment.serve_batch(requests);
+        let outcome = match result {
+            Ok(responses) => {
+                for response in &responses {
+                    self.shards[index].outcomes.record(response.outcome);
+                }
+                Ok(responses)
+            }
+            Err(e) => Err(e),
+        };
+        self.finalize_batch(&[index], &before);
+        outcome
+    }
+
+    /// The shard a hedged re-dispatch should target: the least-routed
+    /// healthy, non-probation shard other than `exclude` (`None` when no
+    /// such shard exists — hedging is pointless on a one-healthy-shard
+    /// fleet).
+    pub fn hedge_target(&self, exclude: usize) -> Option<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|&(idx, s)| idx != exclude && !s.quarantined && !s.crashed && s.probation == 0)
+            .min_by_key(|&(idx, s)| (s.routed, idx))
+            .map(|(idx, _)| idx)
+    }
+
     /// Point-in-time aggregate statistics for every shard.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
@@ -1000,6 +1518,7 @@ impl GuillotineFleet {
             rehomed_kv_hits: self.rehomed_kv_hits,
             rehomed_kv_misses: self.rehomed_kv_misses,
             admission: None,
+            recovery: self.recovery,
             // Computed from each shard's live plant (not the lazily-synced
             // fleet mirror), so stats are truthful even right after an
             // out-of-band intervention through `shard_mut`.

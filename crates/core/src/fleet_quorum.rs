@@ -1,0 +1,318 @@
+//! The fleet-level control console: one datacenter-wide administrator
+//! quorum authorizing **bulk** isolation changes across shards.
+//!
+//! Each shard already has its own seven-seat console and HSM (the paper's
+//! per-machine control plane). Operating a fleet adds a second layer: a
+//! datacenter incident ("quarantine every shard in rack 3", "relax the
+//! fleet after the audit") must not require seven signatures *per shard* —
+//! but it must not bypass quorum either. [`FleetConsole`] reuses the exact
+//! `guillotine-physical` quorum machinery at datacenter scope: a bulk
+//! operation opens **one** fleet ballot (relax still needs
+//! `RELAX_THRESHOLD` of the seven fleet admins; escalation needs
+//! `RESTRICT_THRESHOLD`), and only an authorized ballot fans out into
+//! per-shard console transitions — which each shard's *own* console and
+//! watchdog still validate, so the two layers reconcile rather than race.
+//!
+//! Partitions fail closed, twice over:
+//!
+//! * a shard whose console↔machine link is severed is **skipped** by
+//!   [`FleetConsole::bulk_relax`] (its machine cannot hear the relax
+//!   order; assuming it did would un-quarantine a shard nobody verified);
+//! * when at least half the fleet is console-partitioned
+//!   ([`FleetConsole::split_brain`]), bulk relax refuses outright — a
+//!   console that cannot see a majority of its machines must not assume
+//!   it is the majority side of the partition.
+//!
+//! Bulk *quarantine* has no such gate: escalation is always safe, and a
+//! partitioned shard's own watchdog is already driving it to `Severed`.
+
+use crate::deployment::{CONSOLE_NODE, MACHINE_NODE};
+use crate::fleet::GuillotineFleet;
+use guillotine_net::LinkState;
+use guillotine_physical::quorum::{AdminSet, Ballot, QuorumHsm, Vote, VoteKind, ADMIN_SEATS};
+use guillotine_physical::IsolationLevel;
+use guillotine_types::{AdminId, GuillotineError, Result};
+
+/// What one bulk console operation did, shard by shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BulkReport {
+    /// Shards the transition was applied to.
+    pub applied: Vec<usize>,
+    /// Shards that were skipped, with the fail-closed reason.
+    pub skipped: Vec<(usize, String)>,
+}
+
+impl BulkReport {
+    /// True when every targeted shard was transitioned.
+    pub fn complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// A datacenter-level administrator quorum for bulk shard operations.
+pub struct FleetConsole {
+    hsm: QuorumHsm,
+    nonce: u64,
+}
+
+impl FleetConsole {
+    /// A fleet console with the standard seven-seat administrator set,
+    /// derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FleetConsole {
+            hsm: QuorumHsm::new(AdminSet::standard(seed)),
+            nonce: 0,
+        }
+    }
+
+    /// The fleet-level HSM (read access).
+    pub fn hsm(&self) -> &QuorumHsm {
+        &self.hsm
+    }
+
+    /// Mutable HSM access (admin corruption scenarios in tests/chaos).
+    pub fn hsm_mut(&mut self) -> &mut QuorumHsm {
+        &mut self.hsm
+    }
+
+    /// Shards whose console↔machine link is not `Connected` — the fleet
+    /// console cannot currently reach their machines.
+    pub fn partitioned_shards(fleet: &GuillotineFleet) -> Vec<usize> {
+        (0..fleet.shard_count())
+            .filter(|&index| {
+                fleet
+                    .shard(index)
+                    .network()
+                    .link_state(CONSOLE_NODE, MACHINE_NODE)
+                    != Some(LinkState::Connected)
+            })
+            .collect()
+    }
+
+    /// True when the fleet console is partitioned from at least half its
+    /// shards: it might be the minority side of a split, so relaxations
+    /// fail closed fleet-wide.
+    pub fn split_brain(fleet: &GuillotineFleet) -> bool {
+        let count = fleet.shard_count();
+        count > 0 && Self::partitioned_shards(fleet).len() * 2 >= count
+    }
+
+    /// Opens one fleet-level ballot for `from → to`, collects `approvals`
+    /// approve votes (rejects from the remaining seats) and submits it to
+    /// the HSM. Errors with `QuorumNotReached` below threshold.
+    fn authorize(
+        &mut self,
+        from: IsolationLevel,
+        to: IsolationLevel,
+        approvals: usize,
+    ) -> Result<u32> {
+        self.nonce += 1;
+        let ballot = Ballot {
+            from,
+            to,
+            nonce: self.nonce,
+        };
+        let votes: Vec<Vote> = (0..ADMIN_SEATS)
+            .map(|seat| {
+                let kind = if seat < approvals {
+                    VoteKind::Approve
+                } else {
+                    VoteKind::Reject
+                };
+                self.hsm.cast_vote(AdminId::new(seat as u32), &ballot, kind)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.hsm.decide(&ballot, &votes)
+    }
+
+    /// Quarantines every listed shard under one fleet-level ballot
+    /// (escalation quorum: `RESTRICT_THRESHOLD` of seven). Each shard is
+    /// driven to [`IsolationLevel::Severed`] through its **own** console —
+    /// the per-shard quorum and watchdog still see and validate the
+    /// transition. Shards already at or past `Severed` are reported as
+    /// skipped (nothing to do, not a failure).
+    pub fn bulk_quarantine(
+        &mut self,
+        fleet: &mut GuillotineFleet,
+        shards: &[usize],
+        approvals: usize,
+    ) -> Result<BulkReport> {
+        self.authorize(IsolationLevel::Standard, IsolationLevel::Severed, approvals)?;
+        let mut report = BulkReport::default();
+        for &index in shards {
+            if index >= fleet.shard_count() {
+                report.skipped.push((index, "no such shard".to_string()));
+                continue;
+            }
+            let level = fleet.shard(index).isolation_level();
+            if level >= IsolationLevel::Severed {
+                report
+                    .skipped
+                    .push((index, format!("already at {level} (>= severed)")));
+                continue;
+            }
+            match fleet
+                .shard_mut(index)
+                .console_transition(IsolationLevel::Severed, approvals)
+            {
+                Ok(_) => {
+                    fleet.reinstate(index);
+                    report.applied.push(index);
+                }
+                Err(e) => {
+                    report
+                        .skipped
+                        .push((index, format!("shard console refused: {e}")));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Relaxes every listed shard back to [`IsolationLevel::Standard`]
+    /// under one fleet-level ballot (relax quorum: `RELAX_THRESHOLD` of
+    /// seven). Fails closed without touching any shard when the fleet is
+    /// split-brain; skips (fail-closed, per shard) any shard that is
+    /// console-partitioned, crashed, or not remotely reversible. A relaxed
+    /// shard rejoins through cold-KV probation, exactly like a recovered
+    /// one.
+    pub fn bulk_relax(
+        &mut self,
+        fleet: &mut GuillotineFleet,
+        shards: &[usize],
+        approvals: usize,
+    ) -> Result<BulkReport> {
+        if Self::split_brain(fleet) {
+            return Err(GuillotineError::isolation(
+                "fleet console is partitioned from at least half its shards; bulk relax fails closed",
+            ));
+        }
+        self.authorize(IsolationLevel::Severed, IsolationLevel::Standard, approvals)?;
+        let partitioned = Self::partitioned_shards(fleet);
+        let mut report = BulkReport::default();
+        for &index in shards {
+            if index >= fleet.shard_count() {
+                report.skipped.push((index, "no such shard".to_string()));
+                continue;
+            }
+            if partitioned.contains(&index) {
+                report.skipped.push((
+                    index,
+                    "console link partitioned; relax fails closed".to_string(),
+                ));
+                continue;
+            }
+            if fleet.is_crashed(index) {
+                report.skipped.push((
+                    index,
+                    "serving process crashed; recover it first".to_string(),
+                ));
+                continue;
+            }
+            let level = fleet.shard(index).isolation_level();
+            if level == IsolationLevel::Standard {
+                report
+                    .skipped
+                    .push((index, "already at standard".to_string()));
+                continue;
+            }
+            if !level.remotely_reversible() {
+                report.skipped.push((
+                    index,
+                    format!("{level} is not remotely reversible; physical presence required"),
+                ));
+                continue;
+            }
+            match fleet
+                .shard_mut(index)
+                .console_transition(IsolationLevel::Standard, approvals)
+            {
+                Ok(_) => {
+                    fleet.begin_probation(index);
+                    fleet.reinstate(index);
+                    report.applied.push(index);
+                }
+                Err(e) => {
+                    report
+                        .skipped
+                        .push((index, format!("shard console refused: {e}")));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::GuillotineFleet;
+
+    fn fleet(shards: usize) -> GuillotineFleet {
+        GuillotineFleet::builder()
+            .with_shards(shards)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bulk_quarantine_and_relax_round_trip_under_one_ballot_each() {
+        let mut f = fleet(4);
+        let mut console = FleetConsole::new(7);
+        let report = console.bulk_quarantine(&mut f, &[1, 2], 3).unwrap();
+        assert_eq!(report.applied, vec![1, 2]);
+        assert!(report.complete());
+        assert!(f.is_quarantined(1) && f.is_quarantined(2));
+        assert_eq!(f.healthy_count(), 2);
+
+        // Relax needs the stricter quorum: 3 approvals is refused outright.
+        assert!(console.bulk_relax(&mut f, &[1, 2], 3).is_err());
+        let report = console.bulk_relax(&mut f, &[1, 2], 5).unwrap();
+        assert_eq!(report.applied, vec![1, 2]);
+        assert!(!f.is_quarantined(1) && !f.is_quarantined(2));
+        // Relaxed shards rejoin cold, through probation.
+        assert!(f.in_probation(1) && f.in_probation(2));
+    }
+
+    #[test]
+    fn bulk_quarantine_below_quorum_touches_nothing() {
+        let mut f = fleet(3);
+        let mut console = FleetConsole::new(7);
+        assert!(console.bulk_quarantine(&mut f, &[0, 1], 2).is_err());
+        assert_eq!(f.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn partitioned_shard_is_skipped_by_relax_but_not_quarantine() {
+        let mut f = fleet(4);
+        let mut console = FleetConsole::new(7);
+        console.bulk_quarantine(&mut f, &[0, 1], 3).unwrap();
+        // Partition shard 1's console from its machine.
+        f.shard_mut(1)
+            .network_mut()
+            .disconnect_link(CONSOLE_NODE, MACHINE_NODE)
+            .unwrap();
+        assert_eq!(FleetConsole::partitioned_shards(&f), vec![1]);
+        assert!(!FleetConsole::split_brain(&f));
+        let report = console.bulk_relax(&mut f, &[0, 1], 5).unwrap();
+        assert_eq!(report.applied, vec![0]);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("partitioned"));
+        assert!(f.is_quarantined(1));
+    }
+
+    #[test]
+    fn split_brain_fails_bulk_relax_closed_fleet_wide() {
+        let mut f = fleet(2);
+        let mut console = FleetConsole::new(7);
+        console.bulk_quarantine(&mut f, &[0, 1], 3).unwrap();
+        f.shard_mut(0)
+            .network_mut()
+            .disconnect_link(CONSOLE_NODE, MACHINE_NODE)
+            .unwrap();
+        assert!(FleetConsole::split_brain(&f));
+        let err = console.bulk_relax(&mut f, &[0, 1], 5).unwrap_err();
+        assert!(err.to_string().contains("fails closed"));
+        assert!(f.is_quarantined(0) && f.is_quarantined(1));
+    }
+}

@@ -89,9 +89,12 @@
 pub mod admission;
 pub mod builder;
 pub mod campaign;
+pub mod chaos;
 pub mod deployment;
 pub mod experiments;
 pub mod fleet;
+pub mod fleet_quorum;
+pub mod recovery;
 pub mod report;
 pub mod serve;
 pub mod streaming;
@@ -99,11 +102,14 @@ pub mod streaming;
 pub use admission::{AdmissionConfig, FrontDoor, TimedArrival};
 pub use builder::DeploymentBuilder;
 pub use campaign::{run_escape_campaign, AttackOutcome, CampaignReport};
+pub use chaos::ChaosDoor;
 pub use deployment::{DeploymentConfig, GuillotineDeployment};
 pub use fleet::{
-    FleetBuilder, FleetConfig, FleetReport, FleetStats, GuillotineFleet, OutcomeHistogram,
-    RoutingPolicy, ShardStats,
+    BatchAttempt, FleetBuilder, FleetConfig, FleetReport, FleetStats, GuillotineFleet,
+    OutcomeHistogram, RecoveryStats, RoutingPolicy, ShardStats,
 };
+pub use fleet_quorum::{BulkReport, FleetConsole};
+pub use recovery::{DegradationMode, RecoveryConfig};
 pub use report::Table;
 pub use serve::{
     LatencyBreakdown, RequestPolicy, ServeOutcomeKind, ServePriority, ServeRequest, ServeResponse,

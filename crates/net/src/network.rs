@@ -78,6 +78,11 @@ pub struct NetworkStats {
     pub lost: u64,
     /// Packets dropped because the path was severed or missing.
     pub blocked: u64,
+    /// Packets that were already in flight when their link was severed or
+    /// destroyed, and were dropped instead of delivered across the cut.
+    pub dropped_in_flight: u64,
+    /// Extra copies injected by packet duplication (chaos fault).
+    pub duplicated: u64,
 }
 
 /// A small star/mesh network between named nodes.
@@ -89,6 +94,9 @@ pub struct Network {
     inboxes: BTreeMap<String, VecDeque<Packet>>,
     stats: NetworkStats,
     rng: DetRng,
+    /// Probability in `[0, 1]` that a sent packet is duplicated in flight
+    /// (a misbehaving switch; injected by the chaos engine).
+    duplication_probability: f64,
 }
 
 impl Network {
@@ -100,8 +108,21 @@ impl Network {
             inboxes: BTreeMap::new(),
             stats: NetworkStats::default(),
             rng: DetRng::seed(config.seed),
+            duplication_probability: 0.0,
             config,
         }
+    }
+
+    /// Changes the link loss probability at runtime (heartbeat-loss chaos
+    /// fault). Clamped to `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.config.loss_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the probability that a sent packet is duplicated in flight
+    /// (packet-duplication chaos fault). Clamped to `[0, 1]`.
+    pub fn set_duplication(&mut self, p: f64) {
+        self.duplication_probability = p.clamp(0.0, 1.0);
     }
 
     /// Adds a node (creates its inbox).
@@ -131,6 +152,28 @@ impl Network {
         self.link_index(a, b).map(|i| self.links[i].state)
     }
 
+    fn link_connected(&self, a: &str, b: &str) -> bool {
+        matches!(self.link_state(a, b), Some(LinkState::Connected))
+    }
+
+    /// Drops (and counts) every in-flight packet whose link is no longer
+    /// `Connected`. Severing a cable must kill the photons already on it:
+    /// called by every disconnect/destroy path, and re-checked at delivery
+    /// time, so a packet never crosses a cut link.
+    fn drop_severed_in_flight(&mut self) {
+        let mut kept = Vec::with_capacity(self.in_flight.len());
+        let mut dropped = 0u64;
+        for p in std::mem::take(&mut self.in_flight) {
+            if self.link_connected(&p.from, &p.to) {
+                kept.push(p);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.in_flight = kept;
+        self.stats.dropped_in_flight += dropped;
+    }
+
     /// Electromechanically disconnects the link (reversible).
     pub fn disconnect_link(&mut self, a: &str, b: &str) -> Result<()> {
         let idx = self
@@ -144,6 +187,7 @@ impl Network {
             });
         }
         self.links[idx].state = LinkState::Disconnected;
+        self.drop_severed_in_flight();
         Ok(())
     }
 
@@ -174,6 +218,7 @@ impl Network {
                 reason: format!("no link between {a} and {b}"),
             })?;
         self.links[idx].state = LinkState::Destroyed;
+        self.drop_severed_in_flight();
         Ok(())
     }
 
@@ -197,6 +242,7 @@ impl Network {
                 n += 1;
             }
         }
+        self.drop_severed_in_flight();
         n
     }
 
@@ -209,6 +255,7 @@ impl Network {
                 n += 1;
             }
         }
+        self.drop_severed_in_flight();
         n
     }
 
@@ -216,38 +263,58 @@ impl Network {
     /// the direct link is connected and the loss dice cooperate.
     pub fn send(&mut self, from: &str, to: &str, payload: Vec<u8>, now: SimInstant) -> Result<()> {
         self.stats.sent += 1;
-        let idx = self.link_index(from, to);
-        let connected = matches!(idx.map(|i| self.links[i].state), Some(LinkState::Connected));
-        if !connected {
+        // Route only over `Connected` links, but report *why* the path is
+        // unusable: a chaos trace must tell a reversible partition
+        // (disconnected) from a guillotined cable (destroyed).
+        let state = self.link_index(from, to).map(|i| self.links[i].state);
+        if state != Some(LinkState::Connected) {
             self.stats.blocked += 1;
-            return Err(GuillotineError::NetworkError {
-                reason: format!("no connected path from {from} to {to}"),
-            });
+            let reason = match state {
+                None => format!("no link between {from} and {to}"),
+                Some(LinkState::Disconnected) => {
+                    format!("link from {from} to {to} is disconnected (partition)")
+                }
+                // `Connected` cannot reach this arm; fold it in for
+                // exhaustiveness without a panic path.
+                Some(LinkState::Destroyed) | Some(LinkState::Connected) => {
+                    format!("link from {from} to {to} is destroyed (guillotined)")
+                }
+            };
+            return Err(GuillotineError::NetworkError { reason });
         }
         if self.rng.chance(self.config.loss_probability) {
             self.stats.lost += 1;
             // Loss is silent to the sender, as on a real network.
             return Ok(());
         }
-        self.in_flight.push(Packet {
+        let packet = Packet {
             from: from.to_string(),
             to: to.to_string(),
             payload,
             sent_at: now,
             deliver_at: now + self.config.latency,
-        });
+        };
+        if self.duplication_probability > 0.0 && self.rng.chance(self.duplication_probability) {
+            self.stats.duplicated += 1;
+            self.in_flight.push(packet.clone());
+        }
+        self.in_flight.push(packet);
         Ok(())
     }
 
     /// Moves packets whose delivery time has arrived into their inboxes.
+    /// A packet whose link was severed or destroyed while it was in flight
+    /// is dropped (and counted), never delivered across the cut.
     pub fn advance_to(&mut self, now: SimInstant) {
         let mut remaining = Vec::with_capacity(self.in_flight.len());
-        for p in self.in_flight.drain(..) {
-            if p.deliver_at <= now {
+        for p in std::mem::take(&mut self.in_flight) {
+            if p.deliver_at > now {
+                remaining.push(p);
+            } else if self.link_connected(&p.from, &p.to) {
                 self.stats.delivered += 1;
                 self.inboxes.entry(p.to.clone()).or_default().push_back(p);
             } else {
-                remaining.push(p);
+                self.stats.dropped_in_flight += 1;
             }
         }
         self.in_flight = remaining;
@@ -343,5 +410,89 @@ mod tests {
     fn unknown_path_is_an_error() {
         let mut n = net();
         assert!(n.send("console", "nowhere", vec![], t(0)).is_err());
+    }
+
+    /// Regression: a packet already in flight when its link is severed must
+    /// be dropped (and counted), not delivered across the cut by a later
+    /// `advance_to`.
+    #[test]
+    fn severing_a_link_drops_in_flight_packets() {
+        let mut n = net();
+        n.send("console", "machine0", b"hb".to_vec(), t(0)).unwrap();
+        n.disconnect_link("console", "machine0").unwrap();
+        n.advance_to(t(1_000));
+        assert!(n.receive("machine0").is_none(), "delivered across a cut");
+        assert_eq!(n.stats().delivered, 0);
+        assert_eq!(n.stats().dropped_in_flight, 1);
+    }
+
+    /// Same regression at node scope: `disconnect_node` / destroy paths
+    /// purge the in-flight set too, and a cut mid-flight (between send and
+    /// advance) is caught at delivery time.
+    #[test]
+    fn node_disconnection_drops_in_flight_packets() {
+        let mut n = net();
+        n.add_link("machine0", "internet");
+        n.send("console", "machine0", b"a".to_vec(), t(0)).unwrap();
+        n.send("machine0", "internet", b"b".to_vec(), t(0)).unwrap();
+        n.disconnect_node("machine0");
+        n.advance_to(t(1_000));
+        assert!(n.receive("machine0").is_none());
+        assert!(n.receive("internet").is_none());
+        assert_eq!(n.stats().dropped_in_flight, 2);
+
+        let mut d = net();
+        d.send("console", "machine0", b"c".to_vec(), t(0)).unwrap();
+        assert_eq!(d.destroy_node_links("machine0"), 1);
+        d.advance_to(t(1_000));
+        assert!(d.receive("machine0").is_none());
+        assert_eq!(d.stats().dropped_in_flight, 1);
+    }
+
+    /// Partition and guillotine must be distinguishable in the send error,
+    /// so chaos traces can tell which fault blocked a heartbeat.
+    #[test]
+    fn send_errors_distinguish_disconnected_from_destroyed() {
+        let mut n = net();
+        n.disconnect_link("console", "machine0").unwrap();
+        let partition = n
+            .send("console", "machine0", vec![], t(0))
+            .unwrap_err()
+            .to_string();
+        assert!(partition.contains("disconnected"), "{partition}");
+
+        let mut d = net();
+        d.destroy_link("console", "machine0").unwrap();
+        let guillotined = d
+            .send("console", "machine0", vec![], t(0))
+            .unwrap_err()
+            .to_string();
+        assert!(guillotined.contains("destroyed"), "{guillotined}");
+        assert!(!guillotined.contains("disconnected"), "{guillotined}");
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        let mut n = net();
+        n.set_duplication(1.0);
+        n.send("console", "machine0", b"dup".to_vec(), t(0))
+            .unwrap();
+        n.advance_to(t(1_000));
+        assert!(n.receive("machine0").is_some());
+        assert!(n.receive("machine0").is_some(), "duplicate not delivered");
+        assert!(n.receive("machine0").is_none());
+        assert_eq!(n.stats().duplicated, 1);
+        assert_eq!(n.stats().delivered, 2);
+    }
+
+    #[test]
+    fn loss_probability_is_runtime_adjustable() {
+        let mut n = net();
+        n.set_loss_probability(1.0);
+        n.send("console", "machine0", vec![], t(0)).unwrap();
+        assert_eq!(n.stats().lost, 1);
+        n.set_loss_probability(0.0);
+        n.send("console", "machine0", vec![], t(1)).unwrap();
+        assert_eq!(n.stats().lost, 1);
     }
 }
