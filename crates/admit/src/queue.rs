@@ -176,6 +176,41 @@ impl<T> AdmissionController<T> {
         self.entries.iter().map(|e| e.stamp).collect()
     }
 
+    /// The queued entries (stamp plus payload), in arrival order — what a
+    /// snapshot of the queue must capture.
+    pub fn entries(&self) -> impl Iterator<Item = (&EntryStamp, &T)> {
+        self.entries.iter().map(|e| (&e.stamp, &e.payload))
+    }
+
+    /// The raw counter the next [`TicketId`] will be minted from. Durable
+    /// recovery snapshots this so a rebuilt queue never re-issues a ticket
+    /// that was already acknowledged before the crash.
+    pub fn next_ticket_raw(&self) -> u32 {
+        self.next_ticket
+    }
+
+    /// Replaces the queue wholesale from recovered state. `entries` must
+    /// already be in the order they should dispatch (recovery sorts by
+    /// arrival, then ticket), `next_ticket` continues the pre-crash ticket
+    /// counter, and `stats` carries the replayed statistics. The restored
+    /// depth may transiently exceed capacity — re-admitting already-acked
+    /// work must never shed it — so new submissions are refused or shed
+    /// until the backlog drains below capacity again.
+    pub fn restore(
+        &mut self,
+        entries: Vec<(EntryStamp, T)>,
+        next_ticket: u32,
+        mut stats: AdmissionStats,
+    ) {
+        self.entries = entries
+            .into_iter()
+            .map(|(stamp, payload)| Entry { stamp, payload })
+            .collect();
+        self.next_ticket = next_ticket;
+        stats.depth.set(self.entries.len() as u64);
+        self.stats = stats;
+    }
+
     fn fresh_ticket(&mut self) -> TicketId {
         let ticket = TicketId::new(self.next_ticket);
         self.next_ticket = self.next_ticket.wrapping_add(1);

@@ -1,6 +1,10 @@
 //! The `guillotine-audit` binary: runs all three analysis layers over the
-//! shipped defaults and the working tree, writes `AUDIT.json`, and exits
-//! nonzero on any gating finding.
+//! shipped defaults and the working tree, writes `target/AUDIT.json`, and
+//! exits nonzero on any gating finding.
+//!
+//! The report is a generated artifact: it lives under `target/` (out of
+//! tree, like every other build product) and CI uploads it from there —
+//! committing it at the root would go stale on every unrelated edit.
 
 use guillotine::admission::AdmissionConfig;
 use guillotine_admit::DeadlinePolicy;
@@ -71,8 +75,11 @@ fn main() -> ExitCode {
         }
     }
 
-    // Emit AUDIT.json at the repo root, then the human summary.
-    let json_path = root.join("AUDIT.json");
+    // Emit the report out-of-tree (it is a build product, not a source
+    // file), then the human summary.
+    let target_dir = root.join("target");
+    let _ = std::fs::create_dir_all(&target_dir);
+    let json_path = target_dir.join("AUDIT.json");
     if let Err(err) = std::fs::write(&json_path, report.to_json()) {
         eprintln!("warning: could not write {}: {err}", json_path.display());
     } else {

@@ -63,7 +63,15 @@ const MAX_QUEUE: usize = 2;
 /// * `no-relax-while-partitioned` — `FleetConsole::bulk_relax` (a quorum
 ///   reached while the fleet console is partitioned from its machines must
 ///   not reinstate anything: split-brain fails closed)
-pub const INVARIANTS: [&str; 8] = [
+/// * `no-acked-loss-across-recovery` — `FrontDoor::crash_control_plane` /
+///   `guillotine_journal::rebuild` (every acked-but-uncompleted admission
+///   is committed to the WAL before its ack, so a control-plane crash
+///   recovery must re-queue all of it — never lose acked work)
+/// * `no-double-serve-across-recovery` — the journal's Complete records
+///   plus ticket idempotency (a completion is committed before its response
+///   is released, so replay must never re-release an already-completed
+///   response after a crash)
+pub const INVARIANTS: [&str; 10] = [
     "fail-closed-when-fully-quarantined",
     "no-serve-from-quarantined-shard",
     "session-order-preserved-across-rehome",
@@ -72,6 +80,8 @@ pub const INVARIANTS: [&str; 8] = [
     "no-reinstate-without-quorum",
     "no-double-serve-under-retry",
     "no-relax-while-partitioned",
+    "no-acked-loss-across-recovery",
+    "no-double-serve-across-recovery",
 ];
 
 /// One deliberately-injected bug in the transition function, for mutant
@@ -106,6 +116,12 @@ pub enum ModelFault {
     /// its machines — the split-brain relax bug `FleetConsole::bulk_relax`
     /// fails closed against.
     RelaxWhilePartitioned,
+    /// Control-plane crash recovery forgets the WAL: acked-but-uncompleted
+    /// admissions die with the in-memory queue instead of being replayed.
+    LoseAckedOnRecovery,
+    /// Control-plane crash recovery replays completed records too: a
+    /// response already released to its caller is released again.
+    ReplayCompletedOnRecovery,
 }
 
 /// Per-stream lifecycle in the abstract model.
@@ -150,6 +166,12 @@ struct State {
     /// datacenter-level split-brain flag `FleetConsole::split_brain`
     /// models; reinstatement must fail closed while it is set).
     partitioned: bool,
+    /// The write-ahead admission log: every acked enqueue `(session, seq)`
+    /// in commit order. Append-only and durable — a control-plane crash
+    /// clears the volatile queues but never the WAL; recovery replays the
+    /// acked-but-uncompleted suffix (completion is witnessed by each
+    /// session's `delivered` watermark).
+    wal: Vec<(u8, u8)>,
 }
 
 impl State {
@@ -168,6 +190,7 @@ impl State {
                 stream: Stream::Idle,
             }),
             partitioned: false,
+            wal: Vec::new(),
         }
     }
 
@@ -218,6 +241,10 @@ enum Action {
     Partition,
     /// The console partition heals.
     Heal,
+    /// The control plane crashes and recovers: every volatile queue is
+    /// lost, then rebuilt by replaying the WAL's acked-but-uncompleted
+    /// suffix through the current routing.
+    ControlCrash,
 }
 
 impl fmt::Display for Action {
@@ -233,6 +260,7 @@ impl fmt::Display for Action {
             Action::RetryEnqueue { session } => write!(f, "RetryEnqueue(session {session})"),
             Action::Partition => write!(f, "ConsolePartition"),
             Action::Heal => write!(f, "ConsoleHeal"),
+            Action::ControlCrash => write!(f, "ControlPlaneCrash"),
         }
     }
 }
@@ -261,6 +289,9 @@ fn apply(state: &State, action: Action, fault: ModelFault) -> Option<Step> {
                     if state.shards[shard].queue.len() >= MAX_QUEUE {
                         return None;
                     }
+                    // WAL-before-ack: the enqueue is committed to the log
+                    // in the same transition that acks it.
+                    next.wal.push((session, seq));
                     next.shards[shard].queue.push((session, seq));
                     next.sessions[s].next_seq += 1;
                 }
@@ -462,6 +493,48 @@ fn apply(state: &State, action: Action, fault: ModelFault) -> Option<Step> {
             }
             next.partitioned = false;
         }
+        Action::ControlCrash => {
+            // Everything in flight at the door is volatile: the acked-but
+            // -uncompleted entries (by each session's delivered watermark)
+            // are what recovery owes the callers.
+            let outstanding: Vec<(u8, u8)> = state
+                .wal
+                .iter()
+                .copied()
+                .filter(|&(session, seq)| seq > state.sessions[session as usize].delivered)
+                .collect();
+            if fault == ModelFault::LoseAckedOnRecovery && !outstanding.is_empty() {
+                // The bug: recovery comes back with empty queues while the
+                // WAL still owes acked work.
+                return Some(Step::Violation(INVARIANTS[8]));
+            }
+            if fault == ModelFault::ReplayCompletedOnRecovery
+                && state
+                    .wal
+                    .iter()
+                    .any(|&(session, seq)| seq <= state.sessions[session as usize].delivered)
+            {
+                // The bug: replay walks the whole log and re-releases a
+                // response some caller already received.
+                return Some(Step::Violation(INVARIANTS[9]));
+            }
+            for shard in next.shards.iter_mut() {
+                shard.queue.clear();
+            }
+            // Faithful replay: re-queue the outstanding suffix in log
+            // order through the current routing; under total quarantine
+            // the entry stays stranded on its home shard (dispatch is
+            // blocked there anyway), exactly like the quarantine re-home.
+            for (session, seq) in outstanding {
+                match next.route(session) {
+                    Some(target) => next.shards[target].queue.push((session, seq)),
+                    None => {
+                        let home = session as usize % N_SHARDS;
+                        next.shards[home].queue.push((session, seq));
+                    }
+                }
+            }
+        }
     }
     Some(Step::Next(next))
 }
@@ -483,6 +556,7 @@ fn all_actions() -> Vec<Action> {
     }
     actions.push(Action::Partition);
     actions.push(Action::Heal);
+    actions.push(Action::ControlCrash);
     actions
 }
 

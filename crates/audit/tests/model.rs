@@ -13,7 +13,7 @@ fn faithful_model_proves_every_invariant() {
         "suspiciously small state space: {}",
         proof.states_explored
     );
-    assert_eq!(INVARIANTS.len(), 8);
+    assert_eq!(INVARIANTS.len(), 10);
 }
 
 fn expect_counterexample(fault: ModelFault, invariant: &str) -> Counterexample {
@@ -117,6 +117,40 @@ fn relaxing_while_partitioned_is_caught() {
     let trace = counterexample.trace.join("\n");
     assert!(trace.contains("ConsolePartition"), "{counterexample}");
     assert!(trace.contains("Reinstate"), "{counterexample}");
+}
+
+/// The journal PR's first new mutant: control-plane crash recovery that
+/// forgets the WAL. The minimal witness is an acked-but-unserved submit
+/// followed by the crash that loses it.
+#[test]
+fn losing_acked_work_across_recovery_is_caught() {
+    let counterexample = expect_counterexample(
+        ModelFault::LoseAckedOnRecovery,
+        "no-acked-loss-across-recovery",
+    );
+    let trace = counterexample.trace.join("\n");
+    assert!(trace.contains("Submit"), "{counterexample}");
+    assert!(trace.contains("ControlPlaneCrash"), "{counterexample}");
+    // Nothing can be lost before something was acked: submit then crash.
+    assert_eq!(counterexample.trace.len(), 2, "{counterexample}");
+}
+
+/// The journal PR's second new mutant: crash replay that walks the whole
+/// log and re-releases completed responses. The minimal witness needs a
+/// completion on record first: submit → dispatch → crash.
+#[test]
+fn replaying_completed_work_across_recovery_is_caught() {
+    let counterexample = expect_counterexample(
+        ModelFault::ReplayCompletedOnRecovery,
+        "no-double-serve-across-recovery",
+    );
+    let trace = counterexample.trace.join("\n");
+    assert!(trace.contains("Dispatch"), "{counterexample}");
+    assert!(trace.contains("ControlPlaneCrash"), "{counterexample}");
+    assert!(
+        counterexample.trace.len() >= 3,
+        "a completion must exist before it can be double-served: {counterexample}"
+    );
 }
 
 /// Counterexamples render as numbered, human-readable traces — that is the

@@ -10,6 +10,7 @@
 //! the bench binary's working directory, recording its headline metrics and
 //! acceptance bars so CI can archive the numbers without scraping stdout.
 
+use guillotine_types::encode::{json_escape, json_number};
 use std::fmt::Write as _;
 
 /// One bench run's machine-readable results: named scalar metrics plus the
@@ -30,27 +31,6 @@ struct Bar {
     value: f64,
     threshold: f64,
     pass: bool,
-}
-
-/// Renders an f64 as a JSON number (`null` for non-finite values, which
-/// JSON cannot carry).
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 impl BenchJson {

@@ -66,6 +66,19 @@ pub enum FaultKind {
     /// Drops every shard's blocks from the fleet KV tier at once (a cache
     /// wipe / mass eviction): the fleet must keep serving, cold.
     KvEvictionStorm,
+    /// The admission control plane (the front door process) dies: queue,
+    /// ticket stamps, idempotency set and degradation mode are all lost
+    /// unless journaled. Recovery must replay the WAL suffix on top of the
+    /// latest valid snapshot without losing or double-serving acked work.
+    ControlPlaneCrash,
+    /// The latest fleet snapshot's bytes rot at rest: recovery must detect
+    /// the bad checksum and fall back to the previous snapshot (or a full
+    /// WAL replay), never load corrupt state.
+    SnapshotCorruption,
+    /// A WAL append is torn mid-write: garbage lands at the tail in place
+    /// of a record that was never acked. The next recovery must truncate
+    /// at the first bad checksum and lose nothing that was acknowledged.
+    TornWrite,
 }
 
 impl fmt::Display for FaultKind {
@@ -89,6 +102,9 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::Tamper { shard } => write!(f, "tamper(shard {shard})"),
             FaultKind::KvEvictionStorm => write!(f, "kv-eviction-storm"),
+            FaultKind::ControlPlaneCrash => write!(f, "control-plane-crash"),
+            FaultKind::SnapshotCorruption => write!(f, "snapshot-corruption"),
+            FaultKind::TornWrite => write!(f, "torn-write"),
         }
     }
 }
@@ -223,6 +239,35 @@ impl FaultPlan {
         plan.push(SimInstant::from_nanos(storm), FaultKind::KvEvictionStorm);
         plan
     }
+
+    /// A seeded plan with durability faults layered on top of
+    /// [`FaultPlan::seeded`]: two control-plane crashes (one early, one in
+    /// the back half), a torn WAL append just before the second crash, and
+    /// a snapshot corruption at the second crash instant (pushed before the
+    /// crash, so same-instant ordering makes recovery face the corrupt
+    /// snapshot). The shard-fault layer is byte-identical to `seeded` for
+    /// the same `(seed, shards, horizon)` — e19 trajectories stay stable.
+    pub fn seeded_durability(seed: u64, shards: usize, horizon: SimDuration) -> Self {
+        let mut plan = FaultPlan::seeded(seed, shards, horizon);
+        let span = horizon.as_nanos();
+        if span < 8 {
+            return plan;
+        }
+        let mut rng = DetRng::seed(seed ^ 0xD04A_B1E5_u64);
+        let first = span / 6 + rng.below(span / 6 + 1);
+        let second = span / 2 + rng.below(span / 4 + 1);
+        plan.push(SimInstant::from_nanos(first), FaultKind::ControlPlaneCrash);
+        plan.push(
+            SimInstant::from_nanos(second.saturating_sub(1)),
+            FaultKind::TornWrite,
+        );
+        plan.push(
+            SimInstant::from_nanos(second),
+            FaultKind::SnapshotCorruption,
+        );
+        plan.push(SimInstant::from_nanos(second), FaultKind::ControlPlaneCrash);
+        plan
+    }
 }
 
 /// Walks a [`FaultPlan`] against a simulated clock: each call to
@@ -338,6 +383,43 @@ mod tests {
             .events()
             .iter()
             .all(|e| e.at.as_nanos() < horizon.as_nanos()));
+    }
+
+    #[test]
+    fn seeded_durability_layers_control_plane_faults_on_seeded() {
+        let horizon = SimDuration::from_secs(10);
+        let base = FaultPlan::seeded(7, 3, horizon);
+        let plan = FaultPlan::seeded_durability(7, 3, horizon);
+        assert_eq!(
+            FaultPlan::seeded_durability(7, 3, horizon),
+            plan,
+            "same seed must reproduce the identical schedule"
+        );
+        // The shard-fault layer is untouched: every base event survives.
+        for event in base.events() {
+            assert!(plan.events().contains(event));
+        }
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::ControlPlaneCrash)
+            .count();
+        assert_eq!(crashes, 2);
+        assert!(plan.events().iter().any(|e| e.kind == FaultKind::TornWrite));
+        // The corruption is pushed before the same-instant second crash,
+        // so stable sorting makes recovery face the corrupt snapshot.
+        let corrupt = plan
+            .events()
+            .iter()
+            .position(|e| e.kind == FaultKind::SnapshotCorruption)
+            .expect("durability plans corrupt a snapshot");
+        let last_crash = plan
+            .events()
+            .iter()
+            .rposition(|e| e.kind == FaultKind::ControlPlaneCrash)
+            .expect("two crashes scheduled");
+        assert!(corrupt < last_crash);
+        assert_eq!(plan.events()[corrupt].at, plan.events()[last_crash].at);
     }
 
     #[test]

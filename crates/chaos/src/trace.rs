@@ -1,6 +1,7 @@
 //! Machine-readable chaos traces: every injection plus its observed
 //! consequence, renderable as JSON for CI artifacts.
 
+use guillotine_types::encode::json_escape;
 use guillotine_types::SimInstant;
 use std::fmt;
 
@@ -17,8 +18,10 @@ pub struct ChaosRecord {
 }
 
 /// An append-only log of chaos injections and their consequences. The JSON
-/// rendering is hand-rolled (the build is offline; no serde_json), matching
-/// the bench-JSON idiom.
+/// rendering is hand-rolled (the build is offline; no serde_json) on top of
+/// the shared [`guillotine_types::encode`] helpers, so every machine-readable
+/// artifact in the workspace escapes strings identically. The byte format is
+/// pinned by the golden test in `tests/golden_trace.rs`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChaosTrace {
     records: Vec<ChaosRecord>,
@@ -91,22 +94,6 @@ impl fmt::Display for ChaosTrace {
         }
         Ok(())
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

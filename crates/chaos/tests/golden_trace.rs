@@ -1,0 +1,49 @@
+//! Golden-schema test pinning the `ChaosTrace` JSON byte format.
+//!
+//! CI archives `CHAOS_TRACE_e19.json` and downstream tooling diffs traces
+//! across runs, so a silent field rename or formatting change would break
+//! trajectory comparisons. This test asserts the rendered bytes exactly;
+//! changing the schema must be a deliberate act that updates this golden.
+
+use guillotine_chaos::ChaosTrace;
+use guillotine_types::SimInstant;
+
+#[test]
+fn trace_json_bytes_are_pinned() {
+    let mut trace = ChaosTrace::new();
+    trace.record(
+        SimInstant::from_nanos(1_000),
+        "shard-crash(shard 0)",
+        "quarantined; 3 in-flight re-queued",
+    );
+    trace.record(
+        SimInstant::from_nanos(2_500_000),
+        "torn-write",
+        "WAL tail \"junk\" truncated\nat recovery",
+    );
+
+    let golden = concat!(
+        "[\n",
+        "  {\"at_ns\": 1000, \"event\": \"shard-crash(shard 0)\", ",
+        "\"consequence\": \"quarantined; 3 in-flight re-queued\"},\n",
+        "  {\"at_ns\": 2500000, \"event\": \"torn-write\", ",
+        "\"consequence\": \"WAL tail \\\"junk\\\" truncated\\nat recovery\"}\n",
+        "]",
+    );
+    assert_eq!(trace.to_json(), golden);
+}
+
+#[test]
+fn empty_trace_renders_as_empty_array() {
+    assert_eq!(ChaosTrace::new().to_json(), "[\n]");
+}
+
+#[test]
+fn schema_field_names_are_stable() {
+    let mut trace = ChaosTrace::new();
+    trace.record(SimInstant::ZERO, "e", "c");
+    let json = trace.to_json();
+    for key in ["\"at_ns\": ", "\"event\": ", "\"consequence\": "] {
+        assert!(json.contains(key), "missing pinned key {key} in {json}");
+    }
+}

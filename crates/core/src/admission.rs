@@ -37,9 +37,12 @@ use crate::serve::{
 };
 use guillotine_admit::{
     AdmissionController, AdmissionDecision, AdmissionStats, Admitted, BatchPolicy, DeadlinePolicy,
-    ShedPolicy,
+    EntryStamp, ShedPolicy,
 };
+use guillotine_journal::{rebuild, CompletionKind, SnapshotData, WalRecord};
 use guillotine_types::{DetRng, Result, SimDuration, SimInstant, TicketId};
+
+pub use guillotine_journal::{JournalConfig, JournalStore};
 use std::collections::{HashMap, HashSet};
 
 /// Sizing and backpressure configuration of a [`FrontDoor`].
@@ -76,6 +79,40 @@ pub struct TimedArrival {
     /// Completion budget measured from arrival (`None` falls back to the
     /// door's default deadline).
     pub deadline: Option<SimDuration>,
+}
+
+/// What one control-plane crash recovery did: how state was rebuilt, what
+/// it cost, and what (if anything) was lost. Returned by
+/// [`FrontDoor::last_control_recovery`] after a scheduled crash fires.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlRecovery {
+    /// Fleet-clock instant the crash landed.
+    pub at: SimInstant,
+    /// Whether a valid snapshot seeded the rebuild (false means the whole
+    /// WAL was replayed from the beginning).
+    pub used_snapshot: bool,
+    /// Corrupt snapshots skipped before a valid one decoded.
+    pub snapshots_skipped: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_replayed: u64,
+    /// Acked-but-uncompleted entries re-queued (still-queued plus stranded
+    /// in flight).
+    pub requeued: u64,
+    /// Torn WAL tail lines truncated at the first bad checksum.
+    pub torn_truncated: u64,
+    /// Acked tickets lost: zero with a journal, the whole queue without.
+    pub lost: u64,
+    /// Simulated downtime charged to the fleet clock for the rebuild.
+    pub replay_time: SimDuration,
+}
+
+/// The durable side of a journaled door: the WAL + snapshot store and the
+/// snapshot cadence state.
+struct JournalState {
+    store: JournalStore,
+    config: JournalConfig,
+    /// Fleet-clock instant of the last snapshot (interval gate).
+    last_snapshot: SimInstant,
 }
 
 /// A [`GuillotineFleet`] behind an admission queue and batch former.
@@ -117,6 +154,13 @@ pub struct FrontDoor {
     /// Fleet-clock instant the current mode was entered (for per-mode
     /// duration accounting).
     mode_since: SimInstant,
+    /// Write-ahead journal and snapshot chain; `None` keeps the door
+    /// memory-only, so a control-plane crash loses the queue.
+    journal: Option<JournalState>,
+    /// Scheduled control-plane crash instants, ascending.
+    pending_control_crashes: Vec<SimInstant>,
+    /// Report of the most recent control-plane crash recovery.
+    last_control_recovery: Option<ControlRecovery>,
 }
 
 impl FrontDoor {
@@ -141,6 +185,9 @@ impl FrontDoor {
             session_progress: HashMap::new(),
             mode: DegradationMode::Normal,
             mode_since: SimInstant::ZERO,
+            journal: None,
+            pending_control_crashes: Vec::new(),
+            last_control_recovery: None,
         }
     }
 
@@ -199,6 +246,92 @@ impl FrontDoor {
     /// The active recovery configuration, if any.
     pub fn recovery_config(&self) -> Option<&RecoveryConfig> {
         self.recovery.as_ref()
+    }
+
+    /// Turns on crash consistency: every admission lifecycle transition
+    /// (acked enqueue, shed, batch dispatch, completion) is committed to a
+    /// checksummed write-ahead log *before* it is acknowledged, and the
+    /// control plane snapshots itself at quiescent points on the
+    /// configured interval. A crash scheduled with
+    /// [`FrontDoor::schedule_control_crash`] then recovers by loading the
+    /// latest valid snapshot and replaying the WAL suffix — instead of
+    /// losing the queue.
+    pub fn enable_journal(&mut self, config: JournalConfig) {
+        self.journal = Some(JournalState {
+            store: JournalStore::new(),
+            config,
+            last_snapshot: self.fleet.clock.now(),
+        });
+        // An initial checkpoint, so recovery always has a base snapshot
+        // before the first interval elapses. Skipped when snapshotting is
+        // disabled outright — that mode exists to measure full-WAL replay.
+        if config.snapshot_interval.is_some() {
+            self.snapshot_now();
+        }
+    }
+
+    /// Builder-style [`FrontDoor::enable_journal`].
+    pub fn with_journal(mut self, config: JournalConfig) -> Self {
+        self.enable_journal(config);
+        self
+    }
+
+    /// The journal store, if crash consistency is on — for inspection and
+    /// CI artifact dumps.
+    pub fn journal_store(&self) -> Option<&JournalStore> {
+        self.journal.as_ref().map(|journal| &journal.store)
+    }
+
+    /// Report of the most recent control-plane crash recovery, if one has
+    /// fired.
+    pub fn last_control_recovery(&self) -> Option<ControlRecovery> {
+        self.last_control_recovery
+    }
+
+    /// Schedules a control-plane crash at `at` on the fleet clock. The
+    /// first pump boundary (or in-flight batch settlement) at or past that
+    /// instant loses all volatile door state — queue, ticket stamps,
+    /// idempotency set, session-order witness, ladder mode — and recovers
+    /// from the journal, or from nothing.
+    pub fn schedule_control_crash(&mut self, at: SimInstant) {
+        self.pending_control_crashes.push(at);
+        self.pending_control_crashes.sort();
+    }
+
+    /// Fires at most one due scheduled control-plane crash; true when one
+    /// landed. Called at every pump boundary and after every fleet batch;
+    /// also the chaos driver's entry point for `ControlPlaneCrash` faults.
+    pub fn fire_due_control_crash(&mut self) -> bool {
+        let now = self.fleet.clock.now();
+        let due = matches!(self.pending_control_crashes.first(), Some(&at) if at <= now);
+        if due {
+            self.pending_control_crashes.remove(0);
+            self.crash_control_plane();
+        }
+        due
+    }
+
+    /// Corrupts the latest snapshot at rest (chaos `SnapshotCorruption`):
+    /// recovery must detect the damage by checksum and fall back to an
+    /// older snapshot or full WAL replay. False when there is no journal
+    /// or no snapshot yet.
+    pub fn corrupt_latest_snapshot(&mut self) -> bool {
+        self.journal
+            .as_mut()
+            .is_some_and(|journal| journal.store.corrupt_latest_snapshot())
+    }
+
+    /// Tears the WAL tail mid-append (chaos `TornWrite`): the last line is
+    /// left half-written, as a crash between `write` and `fsync` would.
+    /// False without a journal.
+    pub fn tear_wal(&mut self) -> bool {
+        match self.journal.as_mut() {
+            Some(journal) => {
+                journal.store.tear_wal();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Where the door currently sits on the degradation ladder (always
@@ -277,6 +410,7 @@ impl FrontDoor {
         arrival: SimInstant,
     ) -> AdmissionDecision {
         self.fleet.clock.advance_to(arrival);
+        self.fire_due_control_crash();
         if self.recovery.is_some() {
             self.update_ladder();
             let refuse = match self.mode {
@@ -298,14 +432,36 @@ impl FrontDoor {
         let deadline = deadline
             .or(self.default_deadline)
             .map(|budget| arrival.saturating_add(budget));
+        // The journal needs the request's wire form, and `submit` consumes
+        // the request — encode first.
+        let wire = if self.journal.is_some() {
+            Some(request.to_wire())
+        } else {
+            None
+        };
         let decision = self
             .controller
             .submit(request, session, class, deadline, arrival);
         // Keep the fleet's queued-load projection current incrementally:
         // release a shed victim's slot, charge the admitted request's.
+        // WAL records are committed here, before the decision is returned
+        // — the fsync-before-ack contract: an acked enqueue is always on
+        // durable storage, so a torn tail is only ever un-acked garbage.
         match decision {
             AdmissionDecision::Enqueued { ticket, .. } => {
                 self.note_enqueued(ticket);
+                if let Some(payload) = wire {
+                    self.journal_append(&WalRecord::Enqueue {
+                        stamp: EntryStamp {
+                            ticket,
+                            session,
+                            class,
+                            arrival,
+                            deadline,
+                        },
+                        payload,
+                    });
+                }
             }
             AdmissionDecision::Shed {
                 victim, admitted, ..
@@ -313,6 +469,19 @@ impl FrontDoor {
                 if let Some(ticket) = admitted {
                     self.note_removed(victim);
                     self.note_enqueued(ticket);
+                    if let Some(payload) = wire {
+                        self.journal_append(&WalRecord::Shed { ticket: victim });
+                        self.journal_append(&WalRecord::Enqueue {
+                            stamp: EntryStamp {
+                                ticket,
+                                session,
+                                class,
+                                arrival,
+                                deadline,
+                            },
+                            payload,
+                        });
+                    }
                 }
             }
             AdmissionDecision::Refused { .. } => {}
@@ -337,6 +506,12 @@ impl FrontDoor {
     /// arrivals between consecutive batches, and the chaos driver
     /// (`crate::chaos`) to interleave fault injections.
     pub(crate) fn step(&mut self) -> Result<Option<Vec<ServeResponse>>> {
+        // Pump boundary: a due control-plane crash lands here, between
+        // batches. The moment before the former runs is also the quiescent
+        // point — no batch in flight, the queue alone holds every
+        // acked-uncompleted request — so it is where snapshots are taken.
+        self.fire_due_control_crash();
+        self.maybe_snapshot();
         match self.controller.form(self.fleet.clock.now()) {
             Some(batch) => Ok(Some(self.serve(batch)?)),
             None => Ok(None),
@@ -348,7 +523,14 @@ impl FrontDoor {
     /// afterwards.
     pub fn drain(&mut self) -> Result<Vec<ServeResponse>> {
         let mut responses = Vec::new();
-        while let Some(batch) = self.controller.flush(self.fleet.clock.now()) {
+        loop {
+            // Same boundary duties as `step`: crashes land and snapshots
+            // are taken between batches, never inside one.
+            self.fire_due_control_crash();
+            self.maybe_snapshot();
+            let Some(batch) = self.controller.flush(self.fleet.clock.now()) else {
+                break;
+            };
             responses.extend(self.serve(batch)?);
         }
         Ok(responses)
@@ -409,7 +591,18 @@ impl FrontDoor {
             requests.push(admitted.payload);
         }
         self.push_queued_load();
+        self.journal_dispatch(&stamps);
         let mut responses = self.fleet.serve_batch(requests)?;
+        if self.fire_due_control_crash() {
+            // The crash landed while the batch was in flight: no response
+            // was released and no Complete record committed, so recovery
+            // re-queued the whole batch from the journal — or, without
+            // one, lost it along with the queue.
+            if self.journal.is_none() {
+                self.fleet.recovery_mut().acked_lost += stamps.len() as u64;
+            }
+            return Ok(Vec::new());
+        }
         let completed = self.fleet.clock.now();
         for ((stamp, dispatched), response) in stamps.iter().zip(responses.iter_mut()) {
             let wait = dispatched.duration_since(stamp.arrival);
@@ -428,6 +621,7 @@ impl FrontDoor {
                 completed
             };
             self.controller.record_served(stamp, achieved);
+            self.journal_complete(stamp, response);
         }
         Ok(responses)
     }
@@ -455,6 +649,7 @@ impl FrontDoor {
             requests.push(admitted.payload);
         }
         self.push_queued_load();
+        self.journal_dispatch(&stamps);
         // Hedging and refusal-synthesis need the request after the fleet
         // consumed it.
         let copies: Vec<ServeRequest> = requests.clone();
@@ -499,6 +694,16 @@ impl FrontDoor {
         if cfg.serve_timeout.is_some() || cfg.hedge_threshold.is_some() {
             self.timeout_and_hedge(&cfg, &mut attempt, &copies);
         }
+        if self.fire_due_control_crash() {
+            // Retries, backoffs or hedges carried the clock past a
+            // scheduled crash: the batch dies un-released (no Complete
+            // records), and recovery re-queues it from the journal — or
+            // loses it without one.
+            if self.journal.is_none() {
+                self.fleet.recovery_mut().acked_lost += stamps.len() as u64;
+            }
+            return Ok(Vec::new());
+        }
         self.update_ladder();
         let completed = self.fleet.clock.now();
         let streaming = !self.streaming_suspended();
@@ -542,6 +747,7 @@ impl FrontDoor {
                     self.session_progress.insert(session, stamp.arrival);
                 }
             }
+            self.journal_complete(stamp, response);
         }
         Ok(responses)
     }
@@ -618,6 +824,227 @@ impl FrontDoor {
             kv_hit: false,
             isolation: self.fleet.shard(home).isolation_level(),
         }
+    }
+
+    /// Commits one WAL record, when journaling is on.
+    fn journal_append(&mut self, record: &WalRecord) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.store.append(record);
+        }
+    }
+
+    /// Commits a batch-dispatch record: these tickets are leaving the
+    /// queue for the fleet. Recovery treats dispatched-but-uncompleted
+    /// tickets as stranded in flight and re-queues them.
+    fn journal_dispatch(&mut self, stamps: &[(EntryStamp, SimInstant)]) {
+        if self.journal.is_none() || stamps.is_empty() {
+            return;
+        }
+        let record = WalRecord::Dispatch {
+            at: self.fleet.clock.now(),
+            tickets: stamps.iter().map(|(stamp, _)| stamp.ticket).collect(),
+        };
+        self.journal_append(&record);
+    }
+
+    /// Commits a completion record — *before* the response is released to
+    /// the caller, so "completed toward the caller" and "Complete in the
+    /// WAL" can never disagree across a crash. Carries the session and
+    /// arrival stamps recovery needs to restore the order witness.
+    fn journal_complete(&mut self, stamp: &EntryStamp, response: &ServeResponse) {
+        if self.journal.is_none() {
+            return;
+        }
+        let outcome = match response.outcome {
+            ServeOutcomeKind::Delivered => CompletionKind::Delivered,
+            ServeOutcomeKind::Sanitized => CompletionKind::Sanitized,
+            ServeOutcomeKind::Refused => CompletionKind::Refused,
+            ServeOutcomeKind::Escalated => CompletionKind::Escalated,
+        };
+        let record = WalRecord::Complete {
+            ticket: stamp.ticket,
+            at: self.fleet.clock.now(),
+            outcome,
+            session: stamp.session,
+            arrival: stamp.arrival,
+        };
+        self.journal_append(&record);
+    }
+
+    /// Takes a snapshot when the configured interval has elapsed. Only
+    /// called at quiescent points (before the batch former runs), so no
+    /// batch is in flight and the queue alone captures every
+    /// acked-uncompleted request.
+    fn maybe_snapshot(&mut self) {
+        let now = self.fleet.clock.now();
+        let due = self.journal.as_ref().is_some_and(|journal| {
+            journal
+                .config
+                .snapshot_interval
+                .is_some_and(|interval| now.duration_since(journal.last_snapshot) >= interval)
+        });
+        if due {
+            self.snapshot_now();
+        }
+    }
+
+    /// Unconditionally snapshots the control plane (quiescent call sites
+    /// only). Sets and completion maps are sorted before encoding so the
+    /// snapshot bytes are deterministic across runs.
+    fn snapshot_now(&mut self) {
+        let now = self.fleet.clock.now();
+        let queue: Vec<(EntryStamp, String)> = self
+            .controller
+            .entries()
+            .map(|(stamp, payload)| (*stamp, payload.to_wire()))
+            .collect();
+        let mut completed: Vec<u32> = self.completed_tickets.iter().copied().collect();
+        completed.sort_unstable();
+        let mut progress: Vec<(u32, u64)> = self
+            .session_progress
+            .iter()
+            .map(|(&session, &at)| (session, at.as_nanos()))
+            .collect();
+        progress.sort_unstable();
+        let shard_count = self.fleet.shard_count();
+        let quarantined = (0..shard_count)
+            .map(|index| self.fleet.is_quarantined(index))
+            .collect();
+        let kv_invalidated = (0..shard_count)
+            .map(|index| self.fleet.kv_invalidated(index))
+            .collect();
+        let next_ticket = self.controller.next_ticket_raw();
+        let mode_rank = self.mode.rank() as u8;
+        let stats = self.controller.stats();
+        if let Some(journal) = self.journal.as_mut() {
+            let data = SnapshotData {
+                at: now,
+                wal_offset: journal.store.wal_len(),
+                next_ticket,
+                mode_rank,
+                queue,
+                completed,
+                progress,
+                quarantined,
+                kv_invalidated,
+                stats,
+            };
+            journal.store.take_snapshot(&data);
+            journal.last_snapshot = now;
+        }
+    }
+
+    /// The control plane dies and restarts: every volatile structure —
+    /// queue, ticket stamps, idempotency set, session-order witness,
+    /// routing projection, ladder mode — is gone at the crash instant,
+    /// then rebuilt from the journal (latest valid snapshot plus WAL
+    /// suffix replay, torn tail truncated) or, without one, from nothing.
+    /// Replay work is charged to the fleet clock as downtime.
+    fn crash_control_plane(&mut self) {
+        let now = self.fleet.clock.now();
+        // Settle the open residence in the current ladder mode before the
+        // crash wipes it, so per-mode durations keep summing to elapsed
+        // time across the boundary.
+        if self.recovery.is_some() {
+            let held = now.duration_since(self.mode_since);
+            let rank = self.mode.rank();
+            let recovery = self.fleet.recovery_mut();
+            recovery.degraded[rank] = recovery.degraded[rank].saturating_add(held);
+        }
+        let queued_before = self.controller.depth() as u64;
+        self.completed_tickets.clear();
+        self.session_progress.clear();
+        self.queued_placements.clear();
+        for slot in self.queued_by_shard.iter_mut() {
+            *slot = 0;
+        }
+        self.fleet.recovery_mut().control_plane_crashes += 1;
+        let mut summary = ControlRecovery {
+            at: now,
+            used_snapshot: false,
+            snapshots_skipped: 0,
+            wal_replayed: 0,
+            requeued: 0,
+            torn_truncated: 0,
+            lost: 0,
+            replay_time: SimDuration::ZERO,
+        };
+        match self.journal.as_mut() {
+            None => {
+                // Amnesia: the ticket counter survives (ids stay unique
+                // across the restart) but every acked-unserved request is
+                // gone — the baseline loss the WAL exists to eliminate.
+                let next_ticket = self.controller.next_ticket_raw();
+                self.controller
+                    .restore(Vec::new(), next_ticket, AdmissionStats::default());
+                summary.lost = queued_before;
+                self.fleet.recovery_mut().acked_lost += queued_before;
+                if self.recovery.is_some() {
+                    self.mode = DegradationMode::Normal;
+                    self.mode_since = now;
+                }
+            }
+            Some(journal) => {
+                let recovered = journal.store.recover();
+                // The recovery checkpoint cadence restarts here.
+                journal.last_snapshot = now;
+                let replay = rebuild(&recovered);
+                let mut entries = Vec::with_capacity(replay.queue.len());
+                let mut undecodable = 0u64;
+                for (stamp, wire) in &replay.queue {
+                    match ServeRequest::from_wire(wire) {
+                        Some(request) => entries.push((*stamp, request)),
+                        None => undecodable += 1,
+                    }
+                }
+                summary.used_snapshot = recovered.snapshot.is_some();
+                summary.snapshots_skipped = recovered.snapshots_skipped;
+                summary.wal_replayed = replay.replayed;
+                summary.requeued = entries.len() as u64;
+                summary.torn_truncated = recovered.torn_truncated;
+                summary.lost = undecodable;
+                summary.replay_time = recovered.replay_cost;
+                self.controller
+                    .restore(entries, replay.next_ticket, replay.stats);
+                self.completed_tickets = replay.completed.iter().copied().collect();
+                self.session_progress = replay
+                    .progress
+                    .iter()
+                    .map(|&(session, at)| (session, SimInstant::from_nanos(at)))
+                    .collect();
+                if self.recovery.is_some() {
+                    self.mode = DegradationMode::from_rank(replay.mode_rank);
+                    // `mode_since` stays at the crash instant: the replay
+                    // window below is charged to the restored mode.
+                    self.mode_since = now;
+                }
+                {
+                    let recovery = self.fleet.recovery_mut();
+                    recovery.wal_replayed += replay.replayed;
+                    recovery.journal_requeued += summary.requeued;
+                    recovery.snapshots_skipped += recovered.snapshots_skipped;
+                    recovery.torn_truncated += recovered.torn_truncated;
+                    recovery.acked_lost += undecodable;
+                    recovery.replay_time =
+                        recovery.replay_time.saturating_add(recovered.replay_cost);
+                }
+                // Recovery work is downtime: the clock pays for every
+                // snapshot byte loaded and WAL record replayed.
+                self.fleet.clock.advance(recovered.replay_cost);
+            }
+        }
+        // Rebuild the queued-load projection for LeastLoaded routing from
+        // the restored queue.
+        let tickets: Vec<TicketId> = self
+            .controller
+            .entries()
+            .map(|(stamp, _)| stamp.ticket)
+            .collect();
+        for ticket in tickets {
+            self.note_enqueued(ticket);
+        }
+        self.push_queued_load();
+        self.last_control_recovery = Some(summary);
     }
 
     /// Re-derives the degradation mode from live fleet health and settles

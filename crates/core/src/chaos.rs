@@ -18,6 +18,9 @@
 //! | `PacketDuplication` | shard network duplication probability |
 //! | `Tamper` | physical tamper evidence; hypervisor invariants must fail closed |
 //! | `KvEvictionStorm` | every shard's blocks dropped from the fleet KV tier |
+//! | `ControlPlaneCrash` | [`FrontDoor::schedule_control_crash`] — the door itself dies (queue, idempotency set, order witness lost) and recovers from its journal, or from nothing |
+//! | `SnapshotCorruption` | latest journal snapshot corrupted at rest; recovery must detect it by checksum |
+//! | `TornWrite` | WAL tail torn mid-append; recovery truncates at the first bad checksum |
 
 use crate::admission::{FrontDoor, TimedArrival};
 use crate::deployment::{CONSOLE_NODE, MACHINE_NODE};
@@ -48,13 +51,17 @@ impl ChaosDoor {
     /// real machine dying mid-batch — rather than only at the injection
     /// boundaries between batches.
     pub fn new(mut door: FrontDoor, plan: FaultPlan) -> Self {
-        let fleet = door.fleet_mut();
-        let count = fleet.shard_count();
-        if count > 0 {
-            for event in plan.events() {
-                if let FaultKind::ShardCrash { shard } = event.kind {
-                    fleet.schedule_crash(shard % count, event.at);
+        let count = door.fleet().shard_count();
+        for event in plan.events() {
+            match event.kind {
+                // Same reasoning for control-plane crashes: pre-arming
+                // lets them land while a batch is in flight, the hardest
+                // case for the journal's exactly-once guarantee.
+                FaultKind::ShardCrash { shard } if count > 0 => {
+                    door.fleet_mut().schedule_crash(shard % count, event.at);
                 }
+                FaultKind::ControlPlaneCrash => door.schedule_control_crash(event.at),
+                _ => {}
             }
         }
         ChaosDoor {
@@ -274,6 +281,48 @@ impl ChaosDoor {
                     tier.invalidate_shard(fleet.shard(index).config().machine.raw());
                 }
                 format!("invalidated every shard's KV blocks ({count} shards); fleet serves cold")
+            }
+            FaultKind::ControlPlaneCrash => {
+                // Pre-armed in `new`; a serving window may already have
+                // consumed it mid-batch. Fire anything still due, then
+                // report what the recovery actually did.
+                self.door.fire_due_control_crash();
+                match self.door.last_control_recovery() {
+                    Some(recovery) if self.door.journal_store().is_some() => format!(
+                        "control plane crashed; journal recovery replayed {} WAL record(s), \
+                         re-queued {}, truncated {} torn line(s), skipped {} corrupt \
+                         snapshot(s), downtime {}",
+                        recovery.wal_replayed,
+                        recovery.requeued,
+                        recovery.torn_truncated,
+                        recovery.snapshots_skipped,
+                        recovery.replay_time
+                    ),
+                    Some(recovery) => format!(
+                        "control plane crashed without a journal: {} acked ticket(s) lost",
+                        recovery.lost
+                    ),
+                    None => {
+                        "control plane crash armed; lands at the next pump boundary".to_string()
+                    }
+                }
+            }
+            FaultKind::SnapshotCorruption => {
+                if self.door.corrupt_latest_snapshot() {
+                    "latest snapshot corrupted at rest; recovery must detect it by checksum \
+                     and fall back"
+                        .to_string()
+                } else {
+                    "no snapshot to corrupt (journal off or none taken yet)".to_string()
+                }
+            }
+            FaultKind::TornWrite => {
+                if self.door.tear_wal() {
+                    "WAL tail torn mid-append; recovery truncates at the first bad checksum"
+                        .to_string()
+                } else {
+                    "no journal; torn write had nothing to tear".to_string()
+                }
             }
         }
     }

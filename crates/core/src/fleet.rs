@@ -212,6 +212,23 @@ pub struct RecoveryStats {
     /// [`DegradationMode`](crate::recovery::DegradationMode) rank
     /// (normal, shed-low-priority, streaming-disabled, fail-closed).
     pub degraded: [SimDuration; 4],
+    /// Control-plane (front door) crashes injected.
+    pub control_plane_crashes: u64,
+    /// WAL records replayed across all control-plane recoveries.
+    pub wal_replayed: u64,
+    /// Acked-but-uncompleted tickets re-enqueued from the journal after a
+    /// control-plane crash (queued or stranded in a dispatched batch).
+    pub journal_requeued: u64,
+    /// Corrupt snapshots skipped while recovering the control plane.
+    pub snapshots_skipped: u64,
+    /// Torn/garbage WAL tail lines truncated at the first bad checksum.
+    pub torn_truncated: u64,
+    /// Acked tickets lost to a control-plane crash with *no* journal (the
+    /// baseline the durability subsystem exists to eliminate).
+    pub acked_lost: u64,
+    /// Simulated control-plane downtime spent loading snapshots and
+    /// replaying the WAL.
+    pub replay_time: SimDuration,
 }
 
 impl RecoveryStats {
@@ -243,6 +260,8 @@ impl RecoveryStats {
             || self.ladder_shed > 0
             || self.probation_batches > 0
             || self.duplicates_suppressed > 0
+            || self.control_plane_crashes > 0
+            || self.acked_lost > 0
     }
 }
 
@@ -403,6 +422,20 @@ impl FleetReport {
         } else {
             String::new()
         };
+        let durability_line = if recovery.control_plane_crashes > 0 || recovery.acked_lost > 0 {
+            format!(
+                "control-plane durability : {} crashes, {} WAL records replayed, {} re-queued from journal, {} torn lines truncated, {} corrupt snapshots skipped, {} acked lost, replay downtime {}\n",
+                recovery.control_plane_crashes,
+                recovery.wal_replayed,
+                recovery.journal_requeued,
+                recovery.torn_truncated,
+                recovery.snapshots_skipped,
+                recovery.acked_lost,
+                recovery.replay_time,
+            )
+        } else {
+            String::new()
+        };
         let admission_line = match &self.stats.admission {
             Some(a) => format!(
                 "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n",
@@ -424,7 +457,7 @@ impl FleetReport {
             None => String::new(),
         };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}{}",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}{}{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -438,6 +471,7 @@ impl FleetReport {
             kv_line,
             ttft_line,
             recovery_line,
+            durability_line,
             admission_line,
         )
     }
@@ -763,6 +797,12 @@ impl GuillotineFleet {
     /// Whether shard `index`'s serving process is crashed.
     pub fn is_crashed(&self, index: usize) -> bool {
         self.shards[index].crashed
+    }
+
+    /// Whether shard `index`'s KV entries were invalidated for its current
+    /// quarantine — part of the fleet state control-plane snapshots carry.
+    pub fn kv_invalidated(&self, index: usize) -> bool {
+        self.shards[index].kv_invalidated
     }
 
     /// Whether shard `index` is serving under post-recovery probation.

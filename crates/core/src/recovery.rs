@@ -53,6 +53,18 @@ impl DegradationMode {
         }
     }
 
+    /// The inverse of [`DegradationMode::rank`], for restoring the mode a
+    /// snapshot recorded. Unknown ranks clamp to fail-closed — the safe
+    /// direction for a corrupt-but-undetected rank byte.
+    pub fn from_rank(rank: u8) -> Self {
+        match rank {
+            0 => DegradationMode::Normal,
+            1 => DegradationMode::ShedLowPriority,
+            2 => DegradationMode::DisableStreaming,
+            _ => DegradationMode::FailClosed,
+        }
+    }
+
     /// The mode a fleet with `healthy` of `total` shards serving should be
     /// in, per the configured ladder thresholds.
     pub fn from_health(healthy: usize, total: usize, config: &RecoveryConfig) -> Self {

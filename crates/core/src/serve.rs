@@ -40,6 +40,17 @@ impl ServePriority {
             ServePriority::Interactive => 2,
         }
     }
+
+    /// The inverse of [`ServePriority::class`], for decoding journaled
+    /// requests. Unknown classes clamp to `Interactive` (recovered work is
+    /// never down-prioritized by a decode gap).
+    pub fn from_class(class: u8) -> Self {
+        match class {
+            0 => ServePriority::Batch,
+            1 => ServePriority::Normal,
+            _ => ServePriority::Interactive,
+        }
+    }
 }
 
 /// Per-request policy overrides layered over the deployment's defaults.
@@ -95,6 +106,49 @@ impl ServeRequest {
     pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// The request's stable wire form, carried as the payload of journaled
+    /// admission records so recovery can re-enqueue acked work after a
+    /// control-plane crash.
+    pub fn to_wire(&self) -> String {
+        use guillotine_types::encode::escape_field;
+        let cap = match self.policy.max_response_bytes {
+            Some(bytes) => bytes.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.session.raw(),
+            self.priority.class(),
+            u8::from(self.policy.refuse_sanitized),
+            cap,
+            escape_field(&self.prompt),
+        )
+    }
+
+    /// Decodes [`ServeRequest::to_wire`]. `None` means the payload is
+    /// corrupt; recovery treats that like a torn record.
+    pub fn from_wire(wire: &str) -> Option<Self> {
+        use guillotine_types::encode::{split_fields, unescape_field};
+        let fields = split_fields(wire);
+        if fields.len() != 5 {
+            return None;
+        }
+        let cap = if fields[3] == "-" {
+            None
+        } else {
+            Some(fields[3].parse().ok()?)
+        };
+        Some(ServeRequest {
+            prompt: unescape_field(fields[4]),
+            session: SessionId::new(fields[0].parse().ok()?),
+            priority: ServePriority::from_class(fields[1].parse().ok()?),
+            policy: RequestPolicy {
+                refuse_sanitized: fields[2].parse::<u8>().ok()? != 0,
+                max_response_bytes: cap,
+            },
+        })
     }
 }
 
@@ -278,6 +332,25 @@ mod tests {
     fn priorities_order_interactive_first() {
         assert!(ServePriority::Interactive > ServePriority::Normal);
         assert!(ServePriority::Normal > ServePriority::Batch);
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let request = ServeRequest::new("prompt with | pipe\nand newline")
+            .with_session(SessionId::new(7))
+            .with_priority(ServePriority::Batch)
+            .with_policy(RequestPolicy {
+                refuse_sanitized: true,
+                max_response_bytes: Some(64),
+            });
+        assert_eq!(ServeRequest::from_wire(&request.to_wire()), Some(request));
+        let plain = ServeRequest::new("");
+        assert_eq!(ServeRequest::from_wire(&plain.to_wire()), Some(plain));
+        assert_eq!(ServeRequest::from_wire("1|2"), None);
+        assert_eq!(ServeRequest::from_wire("x|1|0|-|p"), None);
+        for class in 0..=3u8 {
+            assert_eq!(ServePriority::from_class(class).class(), class.min(2));
+        }
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Stable encoding helpers shared by every machine-readable writer in the
+//! workspace: the chaos trace and bench reports (JSON), and the durability
+//! journal's WAL and snapshots (checksummed line framing).
+//!
+//! The build is fully offline — no serde_json — so each artifact format is
+//! hand-rolled. Before this module existed, every writer carried its own
+//! private `json_escape`; a drift in any one of them would silently change
+//! an artifact schema. All of them now route through here, and the golden
+//! trace test in `guillotine-chaos` pins the rendered bytes.
+//!
+//! Two families live here:
+//!
+//! * **JSON scalars** — [`json_escape`] and [`json_number`], the exact
+//!   dialect the existing artifacts use (`null` for non-finite numbers,
+//!   `\uXXXX` for control characters).
+//! * **Checksummed line framing** — [`frame`] / [`unframe`] wrap a record
+//!   body as `crc32hex|body`, one record per line, so a reader can detect
+//!   a torn tail by the first bad checksum. [`escape_field`] /
+//!   [`unescape_field`] make arbitrary strings safe to join with `|` and
+//!   `\n` inside a framed body.
+
+use crate::clock::SimInstant;
+use crate::ids::TicketId;
+
+/// Escapes a string for embedding inside a JSON string literal.
+///
+/// `"` and `\` get backslash escapes, the common whitespace controls get
+/// their two-character forms, and any other control character is rendered
+/// as `\u00XX`.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 as a JSON number, or `null` for non-finite values, which
+/// JSON cannot carry.
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), computed bitwise. The
+/// workspace is offline, records are short and the clock is simulated, so
+/// a table-free implementation is the right trade.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames one record body as `crc32hex|body` (checksum over the body
+/// bytes, fixed 8 hex digits). The body must not contain `\n`; callers
+/// route multi-line payloads through [`escape_field`] first.
+pub fn frame(body: &str) -> String {
+    format!("{:08x}|{body}", crc32(body.as_bytes()))
+}
+
+/// Validates one framed line and returns the body, or `None` when the
+/// frame is malformed or the checksum does not match — the torn-tail
+/// signal recovery truncates on.
+pub fn unframe(line: &str) -> Option<&str> {
+    let (checksum, body) = line.split_at_checked(8)?;
+    let body = body.strip_prefix('|')?;
+    let claimed = u32::from_str_radix(checksum, 16).ok()?;
+    (claimed == crc32(body.as_bytes())).then_some(body)
+}
+
+/// Escapes a string so it can be joined into a framed body with `|`
+/// separators: `\` becomes `\\`, `|` becomes `\p`, and newlines become
+/// `\n` so a field can never break line framing.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. Unknown escapes decode to the escaped
+/// character itself, so a truncated escape cannot panic.
+pub fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Splits a framed body on its unescaped `|` separators. Escaped fields
+/// come back still escaped; callers run [`unescape_field`] per field.
+pub fn split_fields(body: &str) -> Vec<&str> {
+    body.split('|').collect()
+}
+
+/// Renders a [`SimInstant`] as its stable wire form (decimal nanoseconds).
+pub fn instant_field(at: SimInstant) -> String {
+    at.as_nanos().to_string()
+}
+
+/// Parses the wire form produced by [`instant_field`].
+pub fn parse_instant(s: &str) -> Option<SimInstant> {
+    s.parse::<u64>().ok().map(SimInstant::from_nanos)
+}
+
+/// Renders a [`TicketId`] as its stable wire form (decimal raw id).
+pub fn ticket_field(ticket: TicketId) -> String {
+    ticket.raw().to_string()
+}
+
+/// Parses the wire form produced by [`ticket_field`].
+pub fn parse_ticket(s: &str) -> Option<TicketId> {
+    s.parse::<u32>().ok().map(TicketId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_quotes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_number_nulls_non_finite() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_corruption() {
+        let line = frame("enq|7|3|hello");
+        assert_eq!(unframe(&line), Some("enq|7|3|hello"));
+        let mut torn = line.clone();
+        torn.truncate(line.len() - 2);
+        assert_eq!(unframe(&torn), None);
+        let flipped = line.replace("enq", "enQ");
+        assert_eq!(unframe(&flipped), None);
+        assert_eq!(unframe("short"), None);
+        assert_eq!(unframe("zzzzzzzz|body"), None);
+    }
+
+    #[test]
+    fn field_escaping_round_trips_separators() {
+        let nasty = "a|b\\c\nd\re";
+        let escaped = escape_field(nasty);
+        assert!(!escaped.contains('|'));
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_field(&escaped), nasty);
+        // Joining and splitting with the separator is lossless.
+        let body = format!("{}|{}", escape_field("x|y"), escape_field("z"));
+        let fields = split_fields(&body);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(unescape_field(fields[0]), "x|y");
+        assert_eq!(unescape_field(fields[1]), "z");
+    }
+
+    #[test]
+    fn id_and_instant_fields_round_trip() {
+        let at = SimInstant::from_nanos(123_456);
+        assert_eq!(parse_instant(&instant_field(at)), Some(at));
+        let ticket = TicketId::new(42);
+        assert_eq!(parse_ticket(&ticket_field(ticket)), Some(ticket));
+        assert_eq!(parse_instant("nope"), None);
+        assert_eq!(parse_ticket("-1"), None);
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod encode;
 pub mod error;
 pub mod events;
 pub mod ids;

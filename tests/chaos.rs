@@ -5,7 +5,7 @@
 //! is ever double-served and no session's responses are ever reordered,
 //! under **any** fault plan.
 
-use guillotine::admission::{AdmissionConfig, FrontDoor, TimedArrival};
+use guillotine::admission::{AdmissionConfig, FrontDoor, JournalConfig, TimedArrival};
 use guillotine::chaos::{ChaosDoor, FaultKind, FaultPlan};
 use guillotine::fleet::GuillotineFleet;
 use guillotine::fleet_quorum::FleetConsole;
@@ -347,5 +347,36 @@ proptest! {
         let stats = door.stats();
         prop_assert_eq!(stats.recovery.double_serves, 0);
         prop_assert_eq!(stats.recovery.session_reorderings, 0);
+    }
+
+    /// The ladder's per-mode residence accounting never leaks or double
+    /// counts time: across ANY seeded fault plan — including control-plane
+    /// crashes whose replay downtime advances the clock — the per-mode
+    /// durations in `RecoveryStats::degraded` sum to exactly the elapsed
+    /// fleet clock.
+    #[test]
+    fn degraded_mode_durations_sum_to_elapsed_clock(
+        seed in 0u64..400,
+        shards in 2usize..4,
+        n in 4u32..16,
+        journaled in 0u8..2,
+    ) {
+        let horizon = SimDuration::from_millis(8);
+        let plan = FaultPlan::seeded_durability(seed, shards, horizon);
+        let mut door = door_with(shards, RecoveryConfig::default());
+        if journaled == 1 {
+            door = door.with_journal(JournalConfig::default());
+        }
+        let mut chaos = ChaosDoor::new(door, plan);
+        chaos.play(arrivals(n, 3)).unwrap();
+        let (door, _trace) = chaos.into_parts();
+        let stats = door.stats();
+        let elapsed = door.now().duration_since(SimInstant::ZERO);
+        let accounted = stats
+            .recovery
+            .degraded
+            .iter()
+            .fold(SimDuration::ZERO, |acc, held| acc.saturating_add(*held));
+        prop_assert_eq!(accounted, elapsed, "mode residence must partition the clock");
     }
 }
