@@ -168,7 +168,7 @@ impl<T> AdmissionController<T> {
 
     /// Admission statistics so far.
     pub fn stats(&self) -> AdmissionStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The queued stamps, in arrival order.
@@ -350,6 +350,7 @@ impl<T> AdmissionController<T> {
                 let wait = now.duration_since(entry.stamp.arrival);
                 self.stats.wait_total = self.stats.wait_total.saturating_add(wait);
                 self.stats.wait_max = self.stats.wait_max.max(wait);
+                self.stats.wait_hist.record(wait.as_nanos());
                 batch.push(Admitted {
                     stamp: entry.stamp,
                     dispatched: now,
@@ -388,6 +389,7 @@ impl<T> AdmissionController<T> {
         self.stats.ttft_samples += 1;
         self.stats.ttft_total = self.stats.ttft_total.saturating_add(ttft);
         self.stats.ttft_max = self.stats.ttft_max.max(ttft);
+        self.stats.ttft_hist.record(ttft.as_nanos());
     }
 }
 

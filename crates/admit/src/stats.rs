@@ -1,13 +1,15 @@
 //! Admission-tier statistics and SLO accounting.
 
-use guillotine_types::{Gauge, SimDuration};
+use guillotine_types::{Gauge, Histogram, SimDuration};
 
 /// Counters and SLO aggregates for one admission queue.
 ///
 /// Everything here is integral so the struct stays `Eq`-comparable (it is
 /// embedded in `FleetStats`, which experiments compare for equality); rates
-/// and means are derived on read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// and means are derived on read. The wait/TTFT histograms record every
+/// sample into power-of-two nanosecond buckets, so the SLO table can report
+/// p50/p95/p99 instead of only means.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AdmissionStats {
     /// Requests offered to the queue, whatever their fate.
     pub submitted: u64,
@@ -43,6 +45,12 @@ pub struct AdmissionStats {
     pub ttft_total: SimDuration,
     /// Largest submission-to-first-token time observed.
     pub ttft_max: SimDuration,
+    /// Distribution of queue waits across dispatched requests, in
+    /// nanoseconds.
+    pub wait_hist: Histogram,
+    /// Distribution of submission-to-first-token times across streams that
+    /// emitted a token, in nanoseconds.
+    pub ttft_hist: Histogram,
 }
 
 impl AdmissionStats {
@@ -90,6 +98,18 @@ impl AdmissionStats {
             self.dispatched as f64 / self.batches as f64
         }
     }
+
+    /// The q-quantile of queue waits across dispatched requests (zero if
+    /// none were recorded).
+    pub fn wait_quantile(&self, q: f64) -> SimDuration {
+        SimDuration::from_nanos(self.wait_hist.quantile(q))
+    }
+
+    /// The q-quantile of submission-to-first-token times (zero if no stream
+    /// emitted a token).
+    pub fn ttft_quantile(&self, q: f64) -> SimDuration {
+        SimDuration::from_nanos(self.ttft_hist.quantile(q))
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +142,25 @@ mod tests {
         s.ttft_total = SimDuration::from_micros(20);
         s.ttft_max = SimDuration::from_micros(9);
         assert_eq!(s.mean_ttft(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn wait_and_ttft_quantiles_come_from_the_histograms() {
+        let mut s = AdmissionStats::default();
+        assert_eq!(s.wait_quantile(0.95), SimDuration::ZERO);
+        assert_eq!(s.ttft_quantile(0.99), SimDuration::ZERO);
+        // A long uniform tail: p95/p99 must sit near the tail, far from the
+        // mean — the signal the SLO table exists to surface.
+        for us in 1..=100u64 {
+            s.wait_hist.record(SimDuration::from_micros(us).as_nanos());
+            s.ttft_hist
+                .record(SimDuration::from_micros(10 * us).as_nanos());
+        }
+        let p50 = s.wait_quantile(0.5);
+        let p95 = s.wait_quantile(0.95);
+        let p99 = s.wait_quantile(0.99);
+        assert!(p50 < p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p95 >= SimDuration::from_micros(80));
+        assert!(s.ttft_quantile(0.99) >= SimDuration::from_micros(800));
     }
 }

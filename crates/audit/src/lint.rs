@@ -7,7 +7,8 @@
 //!
 //! * **`no-panic`** — no `unwrap()` / `expect()` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in the serve-path modules
-//!   (`crates/core/src/{serve,deployment,fleet,admission,streaming}.rs`).
+//!   (`crates/core/src/{serve,deployment,fleet,admission,streaming}.rs` and
+//!   the telemetry record path `crates/telemetry/src/*.rs`).
 //!   A panic there takes down a whole batch (or a scatter/gather worker)
 //!   for one request's error; fallible paths must return
 //!   `GuillotineError` instead.
@@ -43,13 +44,20 @@
 use crate::finding::{Finding, Layer, Severity};
 use std::path::Path;
 
-/// The serve-path modules held to the `no-panic` rule.
-const SERVE_PATH: [&str; 5] = [
+/// The serve-path modules held to the `no-panic` rule. The telemetry
+/// record path is included: it runs inline on every span and metric the
+/// serving loop emits, so a panic there takes down serving exactly as a
+/// panic in a serve stage would.
+const SERVE_PATH: [&str; 9] = [
     "crates/core/src/serve.rs",
     "crates/core/src/deployment.rs",
     "crates/core/src/fleet.rs",
     "crates/core/src/admission.rs",
     "crates/core/src/streaming.rs",
+    "crates/telemetry/src/lib.rs",
+    "crates/telemetry/src/span.rs",
+    "crates/telemetry/src/registry.rs",
+    "crates/telemetry/src/recorder.rs",
 ];
 
 /// One honoured suppression: `(file:line, rule)`.

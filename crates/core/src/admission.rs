@@ -40,6 +40,7 @@ use guillotine_admit::{
     EntryStamp, ShedPolicy,
 };
 use guillotine_journal::{rebuild, CompletionKind, SnapshotData, WalRecord};
+use guillotine_telemetry::{IncidentKind, NewSpan, SpanId, TelemetryConfig};
 use guillotine_types::{DetRng, Result, SimDuration, SimInstant, TicketId};
 
 pub use guillotine_journal::{JournalConfig, JournalStore};
@@ -161,6 +162,11 @@ pub struct FrontDoor {
     pending_control_crashes: Vec<SimInstant>,
     /// Report of the most recent control-plane crash recovery.
     last_control_recovery: Option<ControlRecovery>,
+    /// Root span id per raw ticket, so door- and recovery-side spans
+    /// parent under the request's root. Observer state, not control-plane
+    /// state: it deliberately survives control-plane crashes, because the
+    /// flight recorder is how crashes get diagnosed afterwards.
+    request_roots: HashMap<u32, SpanId>,
 }
 
 impl FrontDoor {
@@ -188,7 +194,23 @@ impl FrontDoor {
             journal: None,
             pending_control_crashes: Vec::new(),
             last_control_recovery: None,
+            request_roots: HashMap::new(),
         }
+    }
+
+    /// Turns on end-to-end telemetry: per-ticket span trees across
+    /// admission, dispatch, per-shard serve stages and recovery actions,
+    /// per-shard metrics registries merged fleet-wide, and the incident
+    /// flight recorder. Delegates to the fleet, which owns the
+    /// [`guillotine_telemetry::Telemetry`] facade.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.fleet.enable_telemetry(config);
+    }
+
+    /// Builder-style [`FrontDoor::enable_telemetry`].
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.enable_telemetry(config);
+        self
     }
 
     /// The default front door: deadline/priority batch forming with
@@ -422,6 +444,12 @@ impl FrontDoor {
             };
             if refuse {
                 self.fleet.recovery_mut().ladder_shed += 1;
+                if self.fleet.telemetry().is_enabled() {
+                    self.fleet
+                        .telemetry_mut()
+                        .metrics_mut()
+                        .incr("admission.refused");
+                }
                 return AdmissionDecision::Refused {
                     depth: self.controller.depth(),
                 };
@@ -450,6 +478,7 @@ impl FrontDoor {
         match decision {
             AdmissionDecision::Enqueued { ticket, .. } => {
                 self.note_enqueued(ticket);
+                self.telemetry_admit(ticket, arrival);
                 if let Some(payload) = wire {
                     self.journal_append(&WalRecord::Enqueue {
                         stamp: EntryStamp {
@@ -469,6 +498,23 @@ impl FrontDoor {
                 if let Some(ticket) = admitted {
                     self.note_removed(victim);
                     self.note_enqueued(ticket);
+                    if self.fleet.telemetry().is_enabled() {
+                        // The victim's tree closes with an explicit shed
+                        // marker instead of dangling open.
+                        let now = self.fleet.clock.now();
+                        let root = self.request_roots.remove(&victim.raw());
+                        let telemetry = self.fleet.telemetry_mut();
+                        telemetry.metrics_mut().incr("admission.shed");
+                        telemetry.span(NewSpan {
+                            name: "admission.shed",
+                            ticket: Some(victim),
+                            parent: root,
+                            start: now,
+                            end: now,
+                            ..NewSpan::default()
+                        });
+                    }
+                    self.telemetry_admit(ticket, arrival);
                     if let Some(payload) = wire {
                         self.journal_append(&WalRecord::Shed { ticket: victim });
                         self.journal_append(&WalRecord::Enqueue {
@@ -484,7 +530,14 @@ impl FrontDoor {
                     }
                 }
             }
-            AdmissionDecision::Refused { .. } => {}
+            AdmissionDecision::Refused { .. } => {
+                if self.fleet.telemetry().is_enabled() {
+                    self.fleet
+                        .telemetry_mut()
+                        .metrics_mut()
+                        .incr("admission.refused");
+                }
+            }
         }
         decision
     }
@@ -587,8 +640,12 @@ impl FrontDoor {
         let mut requests = Vec::with_capacity(batch.len());
         for admitted in batch {
             self.note_removed(admitted.stamp.ticket);
+            let ticket = admitted.stamp.ticket;
             stamps.push((admitted.stamp, admitted.dispatched));
-            requests.push(admitted.payload);
+            // The ticket rides the request into the fleet so shard-local
+            // stage spans correlate back to this admission. Not part of
+            // the wire form, so journal round-trips stay byte-identical.
+            requests.push(admitted.payload.with_ticket(ticket));
         }
         self.push_queued_load();
         self.journal_dispatch(&stamps);
@@ -622,6 +679,14 @@ impl FrontDoor {
             };
             self.controller.record_served(stamp, achieved);
             self.journal_complete(stamp, response);
+            self.telemetry_settle(
+                stamp,
+                *dispatched,
+                completed,
+                achieved,
+                response.outcome,
+                true,
+            );
         }
         Ok(responses)
     }
@@ -645,8 +710,9 @@ impl FrontDoor {
         let mut requests = Vec::with_capacity(batch.len());
         for admitted in batch {
             self.note_removed(admitted.stamp.ticket);
+            let ticket = admitted.stamp.ticket;
             stamps.push((admitted.stamp, admitted.dispatched));
-            requests.push(admitted.payload);
+            requests.push(admitted.payload.with_ticket(ticket));
         }
         self.push_queued_load();
         self.journal_dispatch(&stamps);
@@ -654,6 +720,25 @@ impl FrontDoor {
         // consumed it.
         let copies: Vec<ServeRequest> = requests.clone();
         let mut attempt = self.fleet.serve_batch_attempt(requests);
+        // Span id of each slot's latest attempt, so retries and hedges can
+        // carry a follows-from link to the attempt they supersede.
+        let mut attempt_spans: Vec<Option<SpanId>> = vec![None; copies.len()];
+        if self.fleet.telemetry().is_enabled() {
+            let end = self.fleet.clock.now();
+            for (slot, (stamp, dispatched)) in stamps.iter().enumerate() {
+                let root = self.request_roots.get(&stamp.ticket.raw()).copied();
+                let shard = attempt.shards[slot];
+                attempt_spans[slot] = self.fleet.telemetry_mut().span(NewSpan {
+                    name: "serve.dispatch",
+                    ticket: Some(stamp.ticket),
+                    shard,
+                    parent: root,
+                    start: *dispatched,
+                    end,
+                    ..NewSpan::default()
+                });
+            }
+        }
         let mut failed = std::mem::take(&mut attempt.failed);
         let mut round = 0u32;
         while !failed.is_empty() && round < cfg.max_retries {
@@ -666,6 +751,7 @@ impl FrontDoor {
             } else {
                 SimDuration::ZERO
             };
+            let round_start = self.fleet.clock.now();
             self.fleet.clock.advance(backoff.saturating_add(jitter));
             let (slots, retry_requests): (Vec<usize>, Vec<ServeRequest>) =
                 failed.into_iter().unzip();
@@ -682,17 +768,48 @@ impl FrontDoor {
                 .into_iter()
                 .map(|(j, request)| (slots[j], request))
                 .collect();
+            if self.fleet.telemetry().is_enabled() {
+                let end = self.fleet.clock.now();
+                for &slot in &slots {
+                    let ticket = stamps[slot].0.ticket;
+                    let root = self.request_roots.get(&ticket.raw()).copied();
+                    let follows = attempt_spans[slot];
+                    let shard = attempt.shards[slot];
+                    let telemetry = self.fleet.telemetry_mut();
+                    telemetry.metrics_mut().incr("recovery.retries");
+                    // This retry is the fleet reacting to whatever fault
+                    // was injected last — correlate the ticket to it.
+                    telemetry.recorder_mut().note_delay(ticket, end);
+                    attempt_spans[slot] = telemetry.span(NewSpan {
+                        name: "recovery.retry",
+                        ticket: Some(ticket),
+                        shard,
+                        parent: root,
+                        follows,
+                        start: round_start,
+                        end,
+                        note: format!("round {round}"),
+                    });
+                }
+            }
         }
         if !failed.is_empty() {
             // Retry budget exhausted: fail closed with an explicit refusal
             // — the request is answered, never silently dropped.
             self.fleet.recovery_mut().retries_exhausted += failed.len() as u64;
+            if self.fleet.telemetry().is_enabled() {
+                let n = failed.len() as u64;
+                self.fleet
+                    .telemetry_mut()
+                    .metrics_mut()
+                    .add("recovery.retries_exhausted", n);
+            }
             for (slot, request) in failed {
                 attempt.responses[slot] = Some(self.refusal_for(&request));
             }
         }
         if cfg.serve_timeout.is_some() || cfg.hedge_threshold.is_some() {
-            self.timeout_and_hedge(&cfg, &mut attempt, &copies);
+            self.timeout_and_hedge(&cfg, &mut attempt, &copies, &stamps, &mut attempt_spans);
         }
         if self.fire_due_control_crash() {
             // Retries, backoffs or hedges carried the clock past a
@@ -748,6 +865,14 @@ impl FrontDoor {
                 }
             }
             self.journal_complete(stamp, response);
+            self.telemetry_settle(
+                stamp,
+                *dispatched,
+                completed,
+                achieved,
+                response.outcome,
+                false,
+            );
         }
         Ok(responses)
     }
@@ -762,6 +887,8 @@ impl FrontDoor {
         cfg: &RecoveryConfig,
         attempt: &mut BatchAttempt,
         copies: &[ServeRequest],
+        stamps: &[(EntryStamp, SimInstant)],
+        attempt_spans: &mut [Option<SpanId>],
     ) {
         for (slot, copy) in copies.iter().enumerate() {
             let Some(primary) = attempt.shards[slot] else {
@@ -791,6 +918,7 @@ impl FrontDoor {
                     recovery.hedges += 1;
                 }
             }
+            let hedge_start = self.fleet.clock.now();
             let Ok(mut second) = self.fleet.serve_on_shard(target, vec![copy.clone()]) else {
                 continue;
             };
@@ -806,6 +934,39 @@ impl FrontDoor {
                 }
                 attempt.responses[slot] = Some(second);
                 attempt.shards[slot] = Some(target);
+            }
+            if self.fleet.telemetry().is_enabled() {
+                // The hedge races its primary rather than nesting inside
+                // it: a follows-from link, same parent.
+                let end = self.fleet.clock.now();
+                let ticket = stamps[slot].0.ticket;
+                let root = self.request_roots.get(&ticket.raw()).copied();
+                let follows = attempt_spans[slot];
+                let telemetry = self.fleet.telemetry_mut();
+                telemetry.metrics_mut().incr(if timed_out {
+                    "recovery.timeouts"
+                } else {
+                    "recovery.hedges"
+                });
+                telemetry.recorder_mut().note_delay(ticket, end);
+                attempt_spans[slot] = telemetry.span(NewSpan {
+                    name: if timed_out {
+                        "recovery.timeout"
+                    } else {
+                        "recovery.hedge"
+                    },
+                    ticket: Some(ticket),
+                    shard: Some(target),
+                    parent: root,
+                    follows,
+                    start: hedge_start,
+                    end,
+                    note: if timed_out || faster {
+                        "won".to_string()
+                    } else {
+                        "suppressed".to_string()
+                    },
+                });
             }
         }
     }
@@ -942,6 +1103,20 @@ impl FrontDoor {
     /// Replay work is charged to the fleet clock as downtime.
     fn crash_control_plane(&mut self) {
         let now = self.fleet.clock.now();
+        if self.fleet.telemetry().is_enabled() {
+            let queued = self.controller.depth();
+            let wal_offset = self.wal_offset();
+            let telemetry = self.fleet.telemetry_mut();
+            telemetry.metrics_mut().incr("fleet.control_plane_crashes");
+            telemetry.recorder_mut().incident(
+                IncidentKind::ControlPlaneCrash,
+                now,
+                None,
+                None,
+                wal_offset,
+                format!("{queued} queued at crash"),
+            );
+        }
         // Settle the open residence in the current ladder mode before the
         // crash wipes it, so per-mode durations keep summing to elapsed
         // time across the boundary.
@@ -1031,6 +1206,19 @@ impl FrontDoor {
                 // Recovery work is downtime: the clock pays for every
                 // snapshot byte loaded and WAL record replayed.
                 self.fleet.clock.advance(recovered.replay_cost);
+                if self.fleet.telemetry().is_enabled() {
+                    let end = self.fleet.clock.now();
+                    self.fleet.telemetry_mut().span(NewSpan {
+                        name: "journal.replay",
+                        start: now,
+                        end,
+                        note: format!(
+                            "snapshot={} wal_replayed={} requeued={}",
+                            summary.used_snapshot, summary.wal_replayed, summary.requeued
+                        ),
+                        ..NewSpan::default()
+                    });
+                }
             }
         }
         // Rebuild the queued-load projection for LeastLoaded routing from
@@ -1040,8 +1228,17 @@ impl FrontDoor {
             .entries()
             .map(|(stamp, _)| stamp.ticket)
             .collect();
+        let restored_at = self.fleet.clock.now();
         for ticket in tickets {
             self.note_enqueued(ticket);
+            // A re-queued ticket was delayed by whatever fault forced the
+            // crash — feed the correlation table.
+            if self.fleet.telemetry().is_enabled() {
+                self.fleet
+                    .telemetry_mut()
+                    .recorder_mut()
+                    .note_delay(ticket, restored_at);
+            }
         }
         self.push_queued_load();
         self.last_control_recovery = Some(summary);
@@ -1103,6 +1300,110 @@ impl FrontDoor {
         let load = std::mem::take(&mut self.queued_by_shard);
         self.fleet.set_queued_load(&load);
         self.queued_by_shard = load;
+    }
+
+    /// WAL records committed so far — the offset incidents carry, so a
+    /// post-mortem can line the flight recorder up against the journal.
+    fn wal_offset(&self) -> u64 {
+        self.journal
+            .as_ref()
+            .map(|journal| journal.store.wal_len())
+            .unwrap_or(0)
+    }
+
+    /// Opens the per-ticket root span at admission and counts the
+    /// enqueue. The root is a zero-width anchor at the arrival instant:
+    /// spans are recorded whole, so the lifecycle it anchors is told by
+    /// its children (queue wait, dispatch, retries) rather than by a
+    /// mutable open interval.
+    fn telemetry_admit(&mut self, ticket: TicketId, arrival: SimInstant) {
+        if !self.fleet.telemetry().is_enabled() {
+            return;
+        }
+        let telemetry = self.fleet.telemetry_mut();
+        telemetry.metrics_mut().incr("admission.enqueued");
+        let root = telemetry.span(NewSpan {
+            name: "request",
+            ticket: Some(ticket),
+            start: arrival,
+            end: arrival,
+            ..NewSpan::default()
+        });
+        if let Some(root) = root {
+            self.request_roots.insert(ticket.raw(), root);
+        }
+    }
+
+    /// Emits the door-side spans and incidents for one settled request:
+    /// the queue-wait span, the dispatch span when the caller has not
+    /// already recorded per-attempt dispatch spans (the recoverable path
+    /// has), and deadline-miss / escalation incident dumps stamped with
+    /// the WAL offset at settlement.
+    fn telemetry_settle(
+        &mut self,
+        stamp: &EntryStamp,
+        dispatched: SimInstant,
+        completed: SimInstant,
+        achieved: SimInstant,
+        outcome: ServeOutcomeKind,
+        record_dispatch: bool,
+    ) {
+        if !self.fleet.telemetry().is_enabled() {
+            return;
+        }
+        let wal_offset = self.wal_offset();
+        let ticket = stamp.ticket;
+        let root = self.request_roots.get(&ticket.raw()).copied();
+        let missed = stamp.deadline.is_some_and(|deadline| achieved > deadline);
+        let wait = dispatched.duration_since(stamp.arrival);
+        let telemetry = self.fleet.telemetry_mut();
+        telemetry.span(NewSpan {
+            name: "admission.queue",
+            ticket: Some(ticket),
+            parent: root,
+            start: stamp.arrival,
+            end: dispatched,
+            ..NewSpan::default()
+        });
+        if record_dispatch {
+            telemetry.span(NewSpan {
+                name: "serve.dispatch",
+                ticket: Some(ticket),
+                parent: root,
+                start: dispatched,
+                end: completed,
+                ..NewSpan::default()
+            });
+        }
+        telemetry.metrics_mut().incr("admission.completed");
+        telemetry
+            .metrics_mut()
+            .observe("admission.queue_wait", wait.as_nanos());
+        if missed {
+            telemetry.metrics_mut().incr("slo.deadline_missed");
+            let late = stamp
+                .deadline
+                .map(|deadline| achieved.duration_since(deadline))
+                .unwrap_or_default();
+            telemetry.recorder_mut().incident(
+                IncidentKind::DeadlineMiss,
+                achieved,
+                Some(ticket),
+                None,
+                wal_offset,
+                format!("late by {late}"),
+            );
+        }
+        if outcome == ServeOutcomeKind::Escalated {
+            telemetry.recorder_mut().incident(
+                IncidentKind::Escalation,
+                completed,
+                Some(ticket),
+                None,
+                wal_offset,
+                String::new(),
+            );
+        }
     }
 
     /// Fleet statistics with the admission tier filled in.

@@ -141,6 +141,17 @@ impl ChaosDoor {
     /// Fires every fault due at or before `now` and records the trace.
     pub fn inject_due(&mut self, now: SimInstant) {
         for event in self.injector.due(now) {
+            // The flight recorder learns of the fault *before* the door
+            // reacts to it, so the recovery actions it provokes (retries,
+            // hedges, re-queues) attribute their delayed tickets to it.
+            if self.door.fleet().telemetry().is_enabled() {
+                let kind = event.kind.to_string();
+                self.door
+                    .fleet_mut()
+                    .telemetry_mut()
+                    .recorder_mut()
+                    .note_fault(event.at, &kind);
+            }
             let consequence = self.apply_fault(&event);
             self.trace
                 .record(event.at, event.kind.to_string(), consequence);

@@ -30,6 +30,7 @@ use guillotine_physical::{
 use guillotine_policy::{
     AuditKind, AuditRecord, AuditScheduler, ComplianceChecker, ModelCard, RiskClassifier,
 };
+use guillotine_telemetry::{RawSpan, ShardTracer};
 use guillotine_types::{
     AdminId, DeviceId, GuillotineError, MachineId, ModelId, PortId, Result, SimClock, SimDuration,
     SimInstant,
@@ -123,6 +124,11 @@ pub struct GuillotineDeployment {
     /// unredacted and only the final whole-response screen gates delivery.
     stream_categories: Option<Arc<CompiledCategories>>,
     severed_streams: u64,
+    /// Per-shard span buffer: stage and chunk spans accumulate here while
+    /// the deployment serves (possibly on a scoped thread) and the fleet
+    /// drains them into the global tracer after each sub-batch. Disabled
+    /// (and free) unless fleet telemetry is on.
+    tracer: ShardTracer,
 }
 
 impl GuillotineDeployment {
@@ -242,8 +248,20 @@ impl GuillotineDeployment {
             stats_window: StatsWindow::default(),
             stream_categories,
             severed_streams: 0,
+            tracer: ShardTracer::new(),
             config,
         })
+    }
+
+    /// Turns per-shard span buffering on or off (the fleet flips this when
+    /// telemetry is enabled).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Drains the raw spans buffered since the last drain.
+    pub fn take_spans(&mut self) -> Vec<RawSpan> {
+        self.tracer.take()
     }
 
     /// The names of the installed detectors, in registration order.
@@ -636,9 +654,17 @@ impl GuillotineDeployment {
 
         // Input shielding across the whole batch, before any forward pass.
         for &i in &order {
+            let shield_start = self.clock.now();
             self.clock.advance(input_latency);
             let now = self.clock.now();
             let verdict = self.hypervisor.screen_prompt(&requests[i].prompt, now);
+            self.tracer.push(
+                "serve.shield",
+                requests[i].ticket,
+                shield_start,
+                now,
+                String::new(),
+            );
             slots[i].latency.input_screen = input_latency;
             if verdict.flagged && verdict.action > RecommendedAction::Sanitize {
                 slots[i].outcome = Some(ServeOutcomeKind::Refused);
@@ -695,6 +721,7 @@ impl GuillotineDeployment {
             // Launch and prefill advance the clock up front; decode is
             // incremental, billed chunk by chunk in the streaming loop
             // below.
+            let prefill_start = self.clock.now();
             self.clock.advance(launch.saturating_add(batch_prefill));
             // Split the launch cost so the per-request shares sum back
             // exactly to the batch launch latency: everyone gets the floor
@@ -711,6 +738,15 @@ impl GuillotineDeployment {
                     .saturating_add(self.forward.prefill_latency(lookup.uncached_tokens()));
                 slots[i].latency.kv_saved = self.forward.prefill_latency(lookup.cached_tokens);
                 slots[i].kv_hit = lookup.hit();
+                // The span covers this request's launch share plus its own
+                // uncached prefill — the shares telescope to the batch cost.
+                self.tracer.push(
+                    "serve.prefill",
+                    requests[i].ticket,
+                    prefill_start,
+                    prefill_start.saturating_add(slots[i].latency.inference),
+                    String::new(),
+                );
             }
             answers
         };
@@ -769,7 +805,20 @@ impl GuillotineDeployment {
                 // the deltas telescope to the exact per-sequence decode
                 // latency when the stream runs to completion.
                 let delta = SimDuration::from_nanos(after.as_nanos() - before.as_nanos());
+                let chunk_start = self.clock.now();
                 self.clock.advance(delta);
+                if self.tracer.is_enabled() {
+                    // No note: chunk offset and step are recoverable from
+                    // the span's position among the ticket's chunk spans,
+                    // and a per-round format! would dominate tracing cost.
+                    self.tracer.push(
+                        "stream.chunk",
+                        requests[stream.slot].ticket,
+                        chunk_start,
+                        self.clock.now(),
+                        String::new(),
+                    );
+                }
                 let slot = &mut slots[stream.slot];
                 slot.latency.inference = slot.latency.inference.saturating_add(delta);
                 if slot.latency.time_to_first_token == SimDuration::ZERO {
@@ -816,9 +865,17 @@ impl GuillotineDeployment {
                         at,
                     });
                 }
+                let sanitize_start = self.clock.now();
                 self.clock.advance(output_latency);
                 let now = self.clock.now();
                 let i = streams[k].slot;
+                self.tracer.push(
+                    "serve.sanitize",
+                    requests[i].ticket,
+                    sanitize_start,
+                    now,
+                    String::new(),
+                );
                 let (mut delivered, verdict) =
                     self.hypervisor.screen_response(&streams[k].answer, now);
                 slots[i].latency.output_screen = output_latency;
@@ -868,6 +925,16 @@ impl GuillotineDeployment {
                     // dropped with the stream.
                     for stream in streams.iter_mut().filter(|s| !s.done) {
                         stream.done = true;
+                        if self.tracer.is_enabled() {
+                            let at = self.clock.now();
+                            self.tracer.push(
+                                "stream.sever",
+                                requests[stream.slot].ticket,
+                                at,
+                                at,
+                                format!("at_token={}", stream.decoded),
+                            );
+                        }
                     }
                     break 'streaming;
                 }

@@ -55,6 +55,7 @@ use guillotine_admit::AdmissionStats;
 use guillotine_detect::{DetectorRegistry, InputShield, OutputSanitizer};
 use guillotine_model::{KvCacheConfig, KvTier, KvTierStats};
 use guillotine_physical::{Datacenter, IsolationLevel};
+use guillotine_telemetry::{IncidentKind, NewSpan, SpanId, Telemetry, TelemetryConfig};
 use guillotine_types::{
     GuillotineError, MachineId, Result, SessionId, SimClock, SimDuration, SimInstant,
 };
@@ -294,6 +295,25 @@ pub struct FleetStats {
     /// Self-healing counters: crashes, MTTR, re-queues, retries, hedges,
     /// probation and degraded-mode time.
     pub recovery: RecoveryStats,
+    /// Per-stage latency percentiles from the fleet-merged telemetry
+    /// histograms; empty unless telemetry is enabled, so stats equality
+    /// between untraced runs is unaffected.
+    pub stages: Vec<StageLatency>,
+}
+
+/// One serving stage's latency distribution, fleet-merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// The stage's histogram name, e.g. `serve.shield`.
+    pub stage: String,
+    /// Samples recorded across all shards.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
 }
 
 impl FleetStats {
@@ -437,27 +457,58 @@ impl FleetReport {
             String::new()
         };
         let admission_line = match &self.stats.admission {
-            Some(a) => format!(
-                "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n",
-                a.depth.current(),
-                a.depth.high_water(),
-                a.dispatched,
-                a.batches,
-                a.mean_batch(),
-                a.mean_wait(),
-                a.wait_max,
-                a.deadlines_tracked,
-                a.deadlines_met,
-                a.deadlines_missed,
-                a.miss_rate() * 100.0,
-                a.shed,
-                a.refused,
-                a.submitted,
-            ),
+            Some(a) => {
+                let slo_line = if a.wait_hist.count() > 0 || a.ttft_hist.count() > 0 {
+                    format!(
+                        "slo percentiles          : wait p50 {} / p95 {} / p99 {}, ttft p50 {} / p95 {} / p99 {}\n",
+                        a.wait_quantile(0.50),
+                        a.wait_quantile(0.95),
+                        a.wait_quantile(0.99),
+                        a.ttft_quantile(0.50),
+                        a.ttft_quantile(0.95),
+                        a.ttft_quantile(0.99),
+                    )
+                } else {
+                    String::new()
+                };
+                format!(
+                    "admission queue          : depth {} (high water {}), {} dispatched in {} batches (mean {:.1}/batch)\nqueue waits              : mean {}, max {}\ndeadlines                : {} tracked, {} met, {} missed ({:.1}% miss)\nbackpressure             : {} shed, {} refused of {} submitted\n{}",
+                    a.depth.current(),
+                    a.depth.high_water(),
+                    a.dispatched,
+                    a.batches,
+                    a.mean_batch(),
+                    a.mean_wait(),
+                    a.wait_max,
+                    a.deadlines_tracked,
+                    a.deadlines_met,
+                    a.deadlines_missed,
+                    a.miss_rate() * 100.0,
+                    a.shed,
+                    a.refused,
+                    a.submitted,
+                    slo_line,
+                )
+            }
             None => String::new(),
         };
+        let stage_table = if self.stats.stages.is_empty() {
+            String::new()
+        } else {
+            let mut stages = Table::new("Stage latency", &["stage", "count", "p50", "p95", "p99"]);
+            for s in &self.stats.stages {
+                stages.row(&[
+                    s.stage.clone(),
+                    s.count.to_string(),
+                    SimDuration::from_nanos(s.p50_ns).to_string(),
+                    SimDuration::from_nanos(s.p95_ns).to_string(),
+                    SimDuration::from_nanos(s.p99_ns).to_string(),
+                ]);
+            }
+            format!("{}\n", stages.render())
+        };
         format!(
-            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}{}{}",
+            "{}\nrequeued after quarantine: {}\nsimulated serving time   : {}\nintact machines          : {}/{}\noutcomes                 : {} delivered, {} sanitized, {} refused, {} escalated\nsevered mid-stream       : {}\n{}{}{}{}{}{}",
             table.render(),
             self.stats.requeued,
             self.stats.elapsed,
@@ -473,6 +524,7 @@ impl FleetReport {
             recovery_line,
             durability_line,
             admission_line,
+            stage_table,
         )
     }
 }
@@ -643,6 +695,10 @@ pub struct GuillotineFleet {
     /// Max requests per batch a probation shard accepts.
     probation_cap: usize,
     recovery: RecoveryStats,
+    /// Spans, metrics registries and the flight recorder; disabled (and
+    /// near-free on the serve path) until
+    /// [`GuillotineFleet::enable_telemetry`].
+    telemetry: Telemetry,
     /// Fleet-level simulated clock: advances per batch by the slowest
     /// shard's delta, because shards serve concurrently on separate
     /// hardware.
@@ -729,8 +785,107 @@ impl GuillotineFleet {
             probation_batches: 3,
             probation_cap: 2,
             recovery: RecoveryStats::default(),
+            telemetry: Telemetry::disabled(),
             clock: SimClock::new(),
         })
+    }
+
+    /// Turns on spans, per-shard metrics and the flight recorder, flipping
+    /// every shard's stage tracer with it.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Telemetry::new(config);
+        for shard in &mut self.shards {
+            shard.deployment.set_tracing(config.enabled);
+        }
+    }
+
+    /// The fleet's telemetry facade.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry, for the front door's admission/recovery spans and
+    /// incident triggers.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Drains every shard's buffered stage spans into the tracer under a
+    /// `fleet.batch` root (one `fleet.subbatch` child per participating
+    /// shard), observes per-stage latency histograms into the shard's
+    /// registry, and fires severed-stream incidents for any `stream.sever`
+    /// markers the shards emitted.
+    fn collect_batch_telemetry(&mut self, participants: &[usize], started: SimInstant) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let now = self.clock.now();
+        let batch = self.telemetry.span(NewSpan {
+            name: "fleet.batch",
+            start: started,
+            end: now,
+            ..NewSpan::default()
+        });
+        self.telemetry.metrics_mut().incr("fleet.batches");
+        for &shard_idx in participants {
+            self.collect_shard_spans(shard_idx, batch);
+        }
+    }
+
+    /// Drains one shard's raw spans under a `fleet.subbatch` span.
+    fn collect_shard_spans(&mut self, shard_idx: usize, parent: Option<SpanId>) {
+        let raw = self.shards[shard_idx].deployment.take_spans();
+        if raw.is_empty() {
+            return;
+        }
+        let mut start = raw[0].start;
+        let mut end = raw[0].end;
+        for s in &raw {
+            start = start.min(s.start);
+            end = end.max(s.end);
+        }
+        let sub = self.telemetry.span(NewSpan {
+            name: "fleet.subbatch",
+            shard: Some(shard_idx),
+            parent,
+            start,
+            end,
+            ..NewSpan::default()
+        });
+        for s in raw {
+            let elapsed = s.end.duration_since(s.start).as_nanos();
+            let severed = s.name == "stream.sever";
+            // Severs are rare tail events; only they pay for a note copy.
+            let incident_note = severed.then(|| s.note.clone());
+            self.telemetry
+                .shard_metrics_mut(shard_idx)
+                .observe(s.name, elapsed);
+            let recorded = self.telemetry.span(NewSpan {
+                name: s.name,
+                ticket: s.ticket,
+                shard: Some(shard_idx),
+                parent: sub,
+                start: s.start,
+                end: s.end,
+                note: s.note,
+                ..NewSpan::default()
+            });
+            if recorded.is_some() {
+                if let Some(note) = incident_note {
+                    // A mid-stream sever is a tail event: dump the ring.
+                    // The WAL offset is unknown at fleet level; the front
+                    // door's escalation incident carries it.
+                    self.telemetry.recorder_mut().incident(
+                        IncidentKind::SeveredStream,
+                        s.end,
+                        s.ticket,
+                        Some(shard_idx),
+                        0,
+                        note,
+                    );
+                }
+            }
+        }
     }
 
     /// Number of shards in the fleet.
@@ -846,6 +1001,17 @@ impl GuillotineFleet {
         self.recovery.crashes += 1;
         if self.crash_since[index].is_none() {
             self.crash_since[index] = Some(at);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.metrics_mut().incr("fleet.shard_crashes");
+            self.telemetry.recorder_mut().incident(
+                IncidentKind::ShardCrash,
+                at,
+                None,
+                Some(index),
+                0,
+                String::new(),
+            );
         }
         self.quarantine_shard(index);
         self.sync_datacenter();
@@ -1124,8 +1290,25 @@ impl GuillotineFleet {
         out: &mut [Option<ServeResponse>],
     ) {
         let shard = &mut self.shards[shard_idx];
+        let traced = self.telemetry.is_enabled();
         for (&i, response) in indices.iter().zip(shard_responses) {
             shard.outcomes.record(response.outcome);
+            if traced {
+                let metrics = self.telemetry.shard_metrics_mut(shard_idx);
+                metrics.incr(match response.outcome {
+                    ServeOutcomeKind::Delivered => "outcome.delivered",
+                    ServeOutcomeKind::Sanitized => "outcome.sanitized",
+                    ServeOutcomeKind::Refused => "outcome.refused",
+                    ServeOutcomeKind::Escalated => "outcome.escalated",
+                });
+                metrics.observe("serve.inference", response.latency.inference.as_nanos());
+                if response.latency.time_to_first_token > SimDuration::ZERO {
+                    metrics.observe(
+                        "serve.ttft",
+                        response.latency.time_to_first_token.as_nanos(),
+                    );
+                }
+            }
             out[i] = Some(response);
         }
     }
@@ -1225,6 +1408,7 @@ impl GuillotineFleet {
         self.refresh_quarantine();
         let (mut sub_batches, rehomed) = self.plan_batch(&requests);
         let before = self.shard_clocks();
+        let fleet_entry = self.clock.now();
         let total = requests.len();
         let mut slots: Vec<Option<ServeRequest>> = requests.into_iter().map(Some).collect();
         let mut batches: Vec<Option<Vec<ServeRequest>>> = sub_batches
@@ -1282,6 +1466,7 @@ impl GuillotineFleet {
             }
         }
         self.finalize_batch(&participants, &before);
+        self.collect_batch_telemetry(&participants, fleet_entry);
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -1485,6 +1670,7 @@ impl GuillotineFleet {
             }
         }
         self.finalize_batch(&participants, &before);
+        self.collect_batch_telemetry(&participants, fleet_before);
         attempt.failed.sort_by_key(|&(i, _)| i);
         attempt
     }
@@ -1507,6 +1693,7 @@ impl GuillotineFleet {
             ));
         }
         let before = self.shard_clocks();
+        let fleet_entry = self.clock.now();
         self.shards[index].routed += requests.len() as u64;
         let result = self.shards[index].deployment.serve_batch(requests);
         let outcome = match result {
@@ -1519,6 +1706,7 @@ impl GuillotineFleet {
             Err(e) => Err(e),
         };
         self.finalize_batch(&[index], &before);
+        self.collect_batch_telemetry(&[index], fleet_entry);
         outcome
     }
 
@@ -1559,6 +1747,7 @@ impl GuillotineFleet {
             rehomed_kv_misses: self.rehomed_kv_misses,
             admission: None,
             recovery: self.recovery,
+            stages: self.stage_latencies(),
             // Computed from each shard's live plant (not the lazily-synced
             // fleet mirror), so stats are truthful even right after an
             // out-of-band intervention through `shard_mut`.
@@ -1581,6 +1770,29 @@ impl GuillotineFleet {
         FleetReport {
             stats: self.stats(),
         }
+    }
+
+    /// Per-stage percentiles from the fleet-merged telemetry histograms
+    /// (empty with telemetry off).
+    fn stage_latencies(&self) -> Vec<StageLatency> {
+        if !self.telemetry.is_enabled() {
+            return Vec::new();
+        }
+        let merged = self.telemetry.merged_metrics();
+        merged
+            .histogram_names()
+            .iter()
+            .filter_map(|name| {
+                let h = merged.histogram_view(name)?;
+                Some(StageLatency {
+                    stage: (*name).to_string(),
+                    count: h.count(),
+                    p50_ns: h.quantile(0.50),
+                    p95_ns: h.quantile(0.95),
+                    p99_ns: h.quantile(0.99),
+                })
+            })
+            .collect()
     }
 }
 

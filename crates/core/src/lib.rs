@@ -106,7 +106,7 @@ pub use chaos::ChaosDoor;
 pub use deployment::{DeploymentConfig, GuillotineDeployment};
 pub use fleet::{
     BatchAttempt, FleetBuilder, FleetConfig, FleetReport, FleetStats, GuillotineFleet,
-    OutcomeHistogram, RecoveryStats, RoutingPolicy, ShardStats,
+    OutcomeHistogram, RecoveryStats, RoutingPolicy, ShardStats, StageLatency,
 };
 pub use fleet_quorum::{BulkReport, FleetConsole};
 pub use recovery::{DegradationMode, RecoveryConfig};
@@ -127,4 +127,12 @@ pub use guillotine_model::{KvCacheConfig, KvLookup, KvTier, KvTierStats};
 pub use guillotine_admit::{
     AdmissionDecision, AdmissionStats, ArrivalGen, ArrivalProcess, BatchPolicy, DeadlinePolicy,
     DeadlineTarget, FifoWavePolicy, ShedPolicy,
+};
+
+// The observability vocabulary, re-exported so callers can enable tracing
+// and read spans/metrics/incidents without depending on
+// `guillotine-telemetry` directly.
+pub use guillotine_telemetry::{
+    FaultCorrelation, FlightRecorder, Incident, IncidentKind, MetricsRegistry, Span, SpanId,
+    Telemetry, TelemetryConfig, Tracer,
 };

@@ -10,7 +10,7 @@
 
 use guillotine_detect::Verdict;
 use guillotine_physical::IsolationLevel;
-use guillotine_types::{SessionId, SimDuration};
+use guillotine_types::{SessionId, SimDuration, TicketId};
 
 /// Scheduling priority of one request within a batch.
 ///
@@ -77,6 +77,11 @@ pub struct ServeRequest {
     pub priority: ServePriority,
     /// Per-request policy overrides.
     pub policy: RequestPolicy,
+    /// The admission ticket correlating this request's telemetry spans.
+    /// Stamped by the front door at dispatch; deliberately *not* part of
+    /// the wire form (recovery re-stamps after replay), so it never
+    /// affects equality of round-tripped requests.
+    pub ticket: Option<TicketId>,
 }
 
 impl ServeRequest {
@@ -87,6 +92,7 @@ impl ServeRequest {
             session: SessionId::new(0),
             priority: ServePriority::Normal,
             policy: RequestPolicy::default(),
+            ticket: None,
         }
     }
 
@@ -105,6 +111,12 @@ impl ServeRequest {
     /// Sets the per-request policy overrides.
     pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Stamps the admission ticket used to correlate telemetry spans.
+    pub fn with_ticket(mut self, ticket: TicketId) -> Self {
+        self.ticket = Some(ticket);
         self
     }
 
@@ -148,6 +160,7 @@ impl ServeRequest {
                 refuse_sanitized: fields[2].parse::<u8>().ok()? != 0,
                 max_response_bytes: cap,
             },
+            ticket: None,
         })
     }
 }

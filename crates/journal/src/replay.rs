@@ -50,7 +50,7 @@ pub fn rebuild(recovered: &Recovered) -> ReplayState {
         state.progress = snapshot.progress.clone();
         state.next_ticket = snapshot.next_ticket;
         state.mode_rank = snapshot.mode_rank;
-        state.stats = snapshot.stats;
+        state.stats = snapshot.stats.clone();
     }
     for record in &recovered.suffix {
         state.replayed += 1;

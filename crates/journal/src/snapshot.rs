@@ -12,7 +12,7 @@ use guillotine_types::encode::{
     escape_field, frame, instant_field, parse_instant, parse_ticket, split_fields, ticket_field,
     unescape_field, unframe,
 };
-use guillotine_types::{Gauge, SessionId, SimDuration, SimInstant};
+use guillotine_types::{Gauge, Histogram, SessionId, SimDuration, SimInstant};
 
 /// Everything a control-plane snapshot captures.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +57,7 @@ fn parse_flags(s: &str) -> Option<Vec<bool>> {
 
 fn stats_body(stats: &AdmissionStats) -> String {
     format!(
-        "stats|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        "stats|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
         stats.submitted,
         stats.enqueued,
         stats.refused,
@@ -74,11 +74,15 @@ fn stats_body(stats: &AdmissionStats) -> String {
         stats.ttft_samples,
         stats.ttft_total.as_nanos(),
         stats.ttft_max.as_nanos(),
+        // The SLO histograms ride along sparsely (sum;idx:count,...), so a
+        // recovered control plane reports the same p95/p99 it crashed with.
+        stats.wait_hist.encode_sparse(),
+        stats.ttft_hist.encode_sparse(),
     )
 }
 
 fn parse_stats(fields: &[&str]) -> Option<AdmissionStats> {
-    if fields.len() != 17 {
+    if fields.len() != 19 {
         return None;
     }
     let n = |i: usize| -> Option<u64> { fields[i].parse().ok() };
@@ -101,6 +105,8 @@ fn parse_stats(fields: &[&str]) -> Option<AdmissionStats> {
         ttft_samples: n(14)?,
         ttft_total: SimDuration::from_nanos(n(15)?),
         ttft_max: SimDuration::from_nanos(n(16)?),
+        wait_hist: Histogram::decode_sparse(fields[17])?,
+        ttft_hist: Histogram::decode_sparse(fields[18])?,
     })
 }
 

@@ -1,0 +1,124 @@
+//! Golden-schema test pinning the `METRICS.json` byte format, plus the
+//! merge-equals-fleet property.
+//!
+//! CI archives `METRICS_e21.json` and downstream tooling diffs metrics
+//! across runs, so a silent field rename or formatting change would break
+//! trajectory comparisons. The golden asserts the rendered bytes exactly;
+//! changing the schema must be a deliberate act that updates this test.
+//! The proptest pins the aggregation contract: recording per shard and
+//! merging must be indistinguishable from recording fleet-wide.
+
+use guillotine_telemetry::{MetricsRegistry, Telemetry, TelemetryConfig};
+use proptest::prelude::*;
+
+fn sample_registry() -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    r.incr("admission.enqueued");
+    r.add("admission.enqueued", 2);
+    r.gauge("queue.depth").set(5);
+    r.gauge("queue.depth").set(2);
+    r.observe("serve.prefill", 100);
+    r.observe("serve.prefill", 200);
+    r
+}
+
+#[test]
+fn metrics_json_bytes_are_pinned() {
+    let golden = concat!(
+        "{\n",
+        "  \"schema\": \"guillotine-metrics-v1\",\n",
+        "  \"counters\": {\n",
+        "    \"admission.enqueued\": 3\n",
+        "  },\n",
+        "  \"gauges\": {\n",
+        "    \"queue.depth\": {\"current\": 2, \"high_water\": 5}\n",
+        "  },\n",
+        "  \"histograms\": {\n",
+        "    \"serve.prefill\": {\"count\": 2, \"mean\": 150, ",
+        "\"p50\": 95, \"p95\": 191, \"p99\": 191, \"buckets\": ",
+        "{\"6\": 1, \"7\": 1}}\n",
+        "  }\n",
+        "}\n",
+    );
+    assert_eq!(sample_registry().to_json(), golden);
+}
+
+#[test]
+fn empty_registry_json_bytes_are_pinned() {
+    let golden = concat!(
+        "{\n",
+        "  \"schema\": \"guillotine-metrics-v1\",\n",
+        "  \"counters\": {},\n",
+        "  \"gauges\": {},\n",
+        "  \"histograms\": {}\n",
+        "}\n",
+    );
+    assert_eq!(MetricsRegistry::new().to_json(), golden);
+}
+
+#[test]
+fn schema_field_names_are_stable() {
+    let json = sample_registry().to_json();
+    for key in [
+        "\"schema\": ",
+        "\"counters\": ",
+        "\"gauges\": ",
+        "\"histograms\": ",
+        "\"current\": ",
+        "\"high_water\": ",
+        "\"count\": ",
+        "\"mean\": ",
+        "\"p50\": ",
+        "\"p95\": ",
+        "\"p99\": ",
+        "\"buckets\": ",
+    ] {
+        assert!(json.contains(key), "missing pinned key {key} in {json}");
+    }
+}
+
+#[test]
+fn prometheus_exposition_is_pinned() {
+    let golden = concat!(
+        "# TYPE admission_enqueued counter\n",
+        "admission_enqueued 3\n",
+        "# TYPE queue_depth gauge\n",
+        "queue_depth 2\n",
+        "queue_depth_high_water 5\n",
+        "# TYPE serve_prefill summary\n",
+        "serve_prefill{quantile=\"0.5\"} 95\n",
+        "serve_prefill{quantile=\"0.95\"} 191\n",
+        "serve_prefill{quantile=\"0.99\"} 191\n",
+        "serve_prefill_sum 300\n",
+        "serve_prefill_count 2\n",
+    );
+    assert_eq!(sample_registry().to_prometheus(), golden);
+}
+
+proptest! {
+    /// Recording each sample on its own shard's registry and merging must
+    /// yield exactly the fleet-wide registry fed every sample directly —
+    /// the contract that makes per-shard collection transparent.
+    #[test]
+    fn per_shard_merge_equals_fleet_wide(
+        samples in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..200),
+        counts in proptest::collection::vec((0usize..4, 1u64..50), 0..50),
+    ) {
+        let mut telemetry = Telemetry::new(TelemetryConfig::full());
+        let mut fleet_wide = MetricsRegistry::new();
+        for &(shard, value) in &samples {
+            telemetry.shard_metrics_mut(shard).observe("serve.latency", value);
+            fleet_wide.observe("serve.latency", value);
+        }
+        for &(shard, n) in &counts {
+            telemetry.shard_metrics_mut(shard).add("outcome.delivered", n);
+            fleet_wide.add("outcome.delivered", n);
+        }
+        let merged = telemetry.merged_metrics();
+        prop_assert_eq!(merged.to_json(), fleet_wide.to_json());
+        prop_assert_eq!(
+            merged.histogram_view("serve.latency").map(|h| h.quantile(0.95)),
+            fleet_wide.histogram_view("serve.latency").map(|h| h.quantile(0.95))
+        );
+    }
+}
